@@ -1,0 +1,41 @@
+//! Benchmarks of the workload generators.
+
+use arbmis_graph::gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("prufer_tree", n), &n, |b, &n| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| black_box(gen::random_tree_prufer(n, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("forest_union3", n), &n, |b, &n| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            b.iter(|| black_box(gen::forest_union(n, 3, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("apollonian", n), &n, |b, &n| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            b.iter(|| black_box(gen::apollonian(n, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("ktree3", n), &n, |b, &n| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            b.iter(|| black_box(gen::random_ktree(n, 3, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("ba3", n), &n, |b, &n| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            b.iter(|| black_box(gen::barabasi_albert(n, 3, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("gnp_d8", n), &n, |b, &n| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+            b.iter(|| black_box(gen::gnp_with_expected_degree(n, 8.0, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

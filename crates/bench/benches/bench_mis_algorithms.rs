@@ -1,0 +1,58 @@
+//! Wall-clock benchmarks of the MIS algorithms across graph families
+//! (round counts are the paper's metric — see the `experiments` binary —
+//! but wall time validates the implementations are usable at scale).
+
+use arbmis_core::{arb_mis, ghaffari, greedy, luby, metivier, ArbMisConfig};
+use arbmis_graph::gen::{GraphFamily, GraphSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn graphs() -> Vec<(String, arbmis_graph::Graph, usize)> {
+    let n = 10_000;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    vec![
+        ("tree".into(), GraphSpec::new(GraphFamily::RandomTree, n).generate(&mut rng), 1),
+        (
+            "forests2".into(),
+            GraphSpec::new(GraphFamily::ForestUnion { alpha: 2 }, n).generate(&mut rng),
+            2,
+        ),
+        (
+            "apollonian".into(),
+            GraphSpec::new(GraphFamily::Apollonian, n).generate(&mut rng),
+            3,
+        ),
+        (
+            "gnp8".into(),
+            GraphSpec::new(GraphFamily::GnpAvgDegree { d: 8.0 }, n).generate(&mut rng),
+            4,
+        ),
+    ]
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis_algorithms");
+    group.sample_size(10);
+    for (name, g, alpha) in graphs() {
+        group.bench_with_input(BenchmarkId::new("greedy", &name), &g, |b, g| {
+            b.iter(|| black_box(greedy::greedy_mis(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("luby", &name), &g, |b, g| {
+            b.iter(|| black_box(luby::run(g, 7)))
+        });
+        group.bench_with_input(BenchmarkId::new("metivier", &name), &g, |b, g| {
+            b.iter(|| black_box(metivier::run(g, 7)))
+        });
+        group.bench_with_input(BenchmarkId::new("ghaffari", &name), &g, |b, g| {
+            b.iter(|| black_box(ghaffari::run(g, 7)))
+        });
+        group.bench_with_input(BenchmarkId::new("arbmis", &name), &g, |b, g| {
+            b.iter(|| black_box(arb_mis(g, &ArbMisConfig::new(alpha, 7))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

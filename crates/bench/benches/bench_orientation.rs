@@ -1,0 +1,37 @@
+//! Benchmarks of the analysis substrate: degeneracy orderings,
+//! orientations, forest decompositions, and the H-partition.
+
+use arbmis_core::forest_decomp;
+use arbmis_graph::orientation::{degeneracy_ordering, Orientation};
+use arbmis_graph::{forest, gen};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_orientation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orientation");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = gen::random_ktree(n, 3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("degeneracy_ordering", n), &g, |b, g| {
+            b.iter(|| black_box(degeneracy_ordering(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("orientation", n), &g, |b, g| {
+            b.iter(|| black_box(Orientation::by_degeneracy(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("static_forests", n), &g, |b, g| {
+            b.iter(|| black_box(forest::forests_by_degeneracy(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("h_partition", n), &g, |b, g| {
+            b.iter(|| black_box(forest_decomp::h_partition(g, 3, 1.0).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("be_forest_decomp", n), &g, |b, g| {
+            b.iter(|| black_box(forest_decomp::forest_decomposition(g, 3, 1.0).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orientation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmarks of the read-k toolkit: event evaluation and Monte-Carlo
+//! throughput.
+
+use arbmis_graph::orientation::Orientation;
+use arbmis_graph::gen;
+use arbmis_readk::events::EventScenario;
+use arbmis_readk::family::sliding_window_family;
+use arbmis_readk::montecarlo::estimate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_readk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("readk");
+    group.sample_size(10);
+
+    let fam = sliding_window_family(256, 4, 1, 0.3);
+    group.bench_function("family_sample_count_n256", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(fam.sample_count(1, t))
+        })
+    });
+
+    group.bench_function("montecarlo_10k_trials", |b| {
+        b.iter(|| black_box(estimate(10_000, |t| arbmis_congest::rng::draw(1, 0, t, 0).is_multiple_of(3))))
+    });
+
+    for n in [2_000usize, 10_000] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let g = gen::forest_union(n, 3, &mut rng);
+        let o = Orientation::by_degeneracy(&g);
+        let sc = EventScenario::new(&g, &o, (0..500.min(n)).collect(), None);
+        group.bench_with_input(BenchmarkId::new("event3_eval", n), &sc, |b, sc| {
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                let pri = sc.sample_priorities(5, t);
+                black_box(sc.event3_eliminated(&pri).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_readk);
+criterion_main!(benches);

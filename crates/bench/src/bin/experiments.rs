@@ -1,0 +1,91 @@
+//! Regenerates every quantitative claim of the paper (experiment index
+//! E1–E14; see DESIGN.md §4 and EXPERIMENTS.md).
+//!
+//! ```sh
+//! experiments                 # run the full suite (text to stdout)
+//! experiments --exp E3 E7     # selected experiments
+//! experiments --quick         # reduced sizes (used in CI/tests)
+//! experiments --markdown      # markdown rendering (for EXPERIMENTS.md)
+//! experiments --json out.json # machine-readable results
+//! ```
+
+use arbmis_bench::exps;
+use arbmis_bench::ExperimentReport;
+use std::io::Write as _;
+
+struct Args {
+    quick: bool,
+    markdown: bool,
+    json: Option<String>,
+    selected: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        markdown: false,
+        json: None,
+        selected: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--markdown" => args.markdown = true,
+            "--json" => {
+                args.json = Some(it.next().expect("--json needs a path"));
+            }
+            "--exp" => {
+                // Consume ids until the next flag.
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--quick] [--markdown] [--json PATH] [--exp E1 E2 ...]"
+                );
+                std::process::exit(0);
+            }
+            id if id.starts_with('E') || id.starts_with('e') => {
+                args.selected.push(id.to_uppercase());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let registry = exps::all();
+    let to_run: Vec<_> = registry
+        .into_iter()
+        .filter(|(id, _)| args.selected.is_empty() || args.selected.iter().any(|s| s == id))
+        .collect();
+    if to_run.is_empty() {
+        eprintln!("no experiments matched {:?}", args.selected);
+        std::process::exit(2);
+    }
+
+    let mut reports: Vec<ExperimentReport> = Vec::new();
+    for (id, runner) in to_run {
+        eprintln!("[experiments] running {id} ({}mode)…", if args.quick { "quick " } else { "" });
+        let start = std::time::Instant::now();
+        let report = runner(args.quick);
+        eprintln!("[experiments] {id} done in {:.1?}", start.elapsed());
+        if args.markdown {
+            println!("{}", report.to_markdown());
+        } else {
+            println!("{}", report.to_text());
+        }
+        reports.push(report);
+    }
+
+    if let Some(path) = args.json {
+        let json = serde_json::to_string_pretty(&reports).expect("serialize reports");
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(json.as_bytes()).expect("write json output");
+        eprintln!("[experiments] wrote {path}");
+    }
+}

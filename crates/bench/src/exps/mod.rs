@@ -1,0 +1,55 @@
+//! The experiment implementations, one module per DESIGN.md group.
+//!
+//! Every experiment is a pure function `fn run(quick: bool) ->
+//! ExperimentReport`. `quick` shrinks trial counts and sizes so the whole
+//! suite stays test-runnable; the full-size run regenerates the tables
+//! recorded in EXPERIMENTS.md.
+
+pub mod ablation;
+pub mod congest_model;
+pub mod events;
+pub mod finishing;
+pub mod invariant;
+pub mod readk_bounds;
+pub mod rounds;
+pub mod shattering;
+pub mod trees;
+
+use crate::ExperimentReport;
+
+/// An experiment entry: id and runner.
+pub type Entry = (&'static str, fn(bool) -> ExperimentReport);
+
+/// All experiments in index order.
+pub fn all() -> Vec<Entry> {
+    vec![
+        ("E1", readk_bounds::e1_conjunction),
+        ("E2", readk_bounds::e2_tail),
+        ("E3", events::e3_event1),
+        ("E4", events::e4_event2),
+        ("E5", events::e5_event3),
+        ("E6", invariant::e6_invariant),
+        ("E7", shattering::e7_bad_components),
+        ("E8", rounds::e8_scaling),
+        ("E9", rounds::e9_race),
+        ("E10", shattering::e10_residual),
+        ("E11", congest_model::e11_congest),
+        ("E12", ablation::e12_rho_cutoff),
+        ("E13", ablation::e13_lambda_sweep),
+        ("E14", finishing::e14_cole_vishkin),
+        ("E15", trees::e15_tree_specialization),
+        ("E16", trees::e16_workloads),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_ids_unique_and_ordered() {
+        let entries = super::all();
+        assert_eq!(entries.len(), 16);
+        for (i, (id, _)) in entries.iter().enumerate() {
+            assert_eq!(*id, format!("E{}", i + 1));
+        }
+    }
+}

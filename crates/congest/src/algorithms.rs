@@ -1,0 +1,338 @@
+//! Classic CONGEST building blocks: leader election by max-flooding, BFS
+//! tree construction, and tree converge-cast aggregation.
+//!
+//! These are the textbook primitives larger protocols assume; they double
+//! as non-trivial exercises of the simulator (unicast routing, per-node
+//! termination, bit accounting) beyond the MIS protocols in
+//! `arbmis-core`.
+
+use crate::protocol::{Inbox, NodeInfo, Outgoing, Protocol};
+use arbmis_graph::NodeId;
+
+// ------------------------------------------------------------ LeaderElect
+
+/// Leader election by flooding the maximum id for `rounds` rounds (any
+/// upper bound on the diameter; `n` always works). After that every node
+/// in a connected component agrees on the component's maximum id.
+#[derive(Clone, Copy, Debug)]
+pub struct LeaderElect {
+    /// Number of flooding rounds (≥ diameter for correctness).
+    pub rounds: u64,
+}
+
+/// State of [`LeaderElect`].
+#[derive(Clone, Debug)]
+pub struct LeaderState {
+    /// Highest id seen so far (the elected leader at termination).
+    pub leader: u64,
+    /// Whether flooding has finished.
+    pub done: bool,
+}
+
+impl Protocol for LeaderElect {
+    type State = LeaderState;
+    type Msg = u64;
+
+    fn init(&self, node: &NodeInfo) -> LeaderState {
+        LeaderState {
+            leader: node.id as u64,
+            done: false,
+        }
+    }
+
+    fn round(&self, st: &mut LeaderState, node: &NodeInfo, inbox: &Inbox<u64>) -> Outgoing<u64> {
+        let before = st.leader;
+        for &(_, l) in inbox {
+            st.leader = st.leader.max(l);
+        }
+        if node.round >= self.rounds {
+            st.done = true;
+            return Outgoing::Halt;
+        }
+        // Only re-broadcast on news (or in round 0); idle rounds are free.
+        if node.round == 0 || st.leader != before {
+            Outgoing::Broadcast(st.leader)
+        } else {
+            Outgoing::Silent
+        }
+    }
+
+    fn is_done(&self, st: &LeaderState) -> bool {
+        st.done
+    }
+}
+
+// ---------------------------------------------------------------- BfsTree
+
+/// Builds a BFS tree from `root`: every reachable node learns its BFS
+/// distance and parent. Nodes terminate `horizon` rounds after start
+/// (`horizon ≥ eccentricity(root) + 1`; `n` always works).
+#[derive(Clone, Copy, Debug)]
+pub struct BfsTree {
+    /// The root node id.
+    pub root: NodeId,
+    /// Termination horizon in rounds.
+    pub horizon: u64,
+}
+
+/// State of [`BfsTree`].
+#[derive(Clone, Debug)]
+pub struct BfsState {
+    /// BFS distance from the root (`None` = unreached).
+    pub distance: Option<u64>,
+    /// BFS parent (`None` for the root and unreached nodes).
+    pub parent: Option<NodeId>,
+    done: bool,
+}
+
+impl Protocol for BfsTree {
+    type State = BfsState;
+    type Msg = u64;
+
+    fn init(&self, node: &NodeInfo) -> BfsState {
+        BfsState {
+            distance: (node.id == self.root).then_some(0),
+            parent: None,
+            done: false,
+        }
+    }
+
+    fn round(&self, st: &mut BfsState, node: &NodeInfo, inbox: &Inbox<u64>) -> Outgoing<u64> {
+        if node.round >= self.horizon {
+            st.done = true;
+            return Outgoing::Halt;
+        }
+        // Adopt the first (smallest-id sender, since inboxes are sorted)
+        // announcement heard.
+        if st.distance.is_none() {
+            if let Some(&(sender, d)) = inbox.first() {
+                st.distance = Some(d + 1);
+                st.parent = Some(sender);
+                return Outgoing::Broadcast(d + 1);
+            }
+            return Outgoing::Silent;
+        }
+        if node.round == 0 && node.id == self.root {
+            return Outgoing::Broadcast(0);
+        }
+        Outgoing::Silent
+    }
+
+    fn is_done(&self, st: &BfsState) -> bool {
+        st.done
+    }
+}
+
+// ----------------------------------------------------------- ConvergeCast
+
+/// Sums node values up a rooted tree (converge-cast): each node waits for
+/// all children, then sends its subtree sum to its parent. The root ends
+/// with the global sum in `O(depth)` rounds. The tree is given as parent
+/// pointers (e.g. from [`BfsTree`]); tree edges must exist in the graph.
+#[derive(Clone, Debug)]
+pub struct ConvergeCast {
+    /// `parent[v]` for every node (`None` = root of its tree).
+    pub parent: Vec<Option<NodeId>>,
+    /// `children_count[v]` = number of tree children of `v`.
+    pub children_count: Vec<usize>,
+    /// The value each node contributes.
+    pub values: Vec<u64>,
+}
+
+impl ConvergeCast {
+    /// Builds the protocol from parent pointers and per-node values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn new(parent: Vec<Option<NodeId>>, values: Vec<u64>) -> Self {
+        assert_eq!(parent.len(), values.len());
+        let mut children_count = vec![0usize; parent.len()];
+        for p in parent.iter().flatten() {
+            children_count[*p] += 1;
+        }
+        ConvergeCast {
+            parent,
+            children_count,
+            values,
+        }
+    }
+}
+
+/// State of [`ConvergeCast`].
+#[derive(Clone, Debug)]
+pub struct CastState {
+    /// Accumulated subtree sum.
+    pub sum: u64,
+    /// Children still to report.
+    pub pending: usize,
+    /// Whether this node has reported to its parent (roots: finished).
+    pub done: bool,
+}
+
+impl Protocol for ConvergeCast {
+    type State = CastState;
+    type Msg = u64;
+
+    fn init(&self, node: &NodeInfo) -> CastState {
+        CastState {
+            sum: self.values[node.id],
+            pending: self.children_count[node.id],
+            done: false,
+        }
+    }
+
+    fn round(&self, st: &mut CastState, node: &NodeInfo, inbox: &Inbox<u64>) -> Outgoing<u64> {
+        if st.done {
+            return Outgoing::Halt;
+        }
+        for &(_, s) in inbox {
+            st.sum += s;
+            st.pending -= 1;
+        }
+        if st.pending == 0 {
+            st.done = true;
+            match self.parent[node.id] {
+                Some(p) => Outgoing::Unicast(vec![(p, st.sum)]),
+                None => Outgoing::Silent,
+            }
+        } else {
+            Outgoing::Silent
+        }
+    }
+
+    fn is_done(&self, st: &CastState) -> bool {
+        st.done
+    }
+}
+
+/// A compact broadcast-with-echo primitive built from [`BfsTree`] +
+/// [`ConvergeCast`] run back to back (two simulator invocations); returns
+/// `(distances, parents, total)` where `total` is the sum of `values`
+/// over the root's component.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+/// Result of [`bfs_then_sum`]: per-node distances, per-node BFS parents,
+/// and the component total.
+pub type BfsSumResult = (Vec<Option<u64>>, Vec<Option<NodeId>>, u64);
+
+/// Runs [`BfsTree`] from `root`, then [`ConvergeCast`] of `values` up the
+/// resulting tree. Nodes outside the root's component contribute 0.
+pub fn bfs_then_sum(
+    g: &arbmis_graph::Graph,
+    root: NodeId,
+    values: &[u64],
+    seed: u64,
+) -> Result<BfsSumResult, crate::SimulatorError> {
+    let horizon = g.n() as u64 + 1;
+    let bfs = crate::Simulator::new(g, seed).run(&BfsTree { root, horizon }, horizon + 1)?;
+    let parent: Vec<Option<NodeId>> = bfs.states.iter().map(|s| s.parent).collect();
+    let distance: Vec<Option<u64>> = bfs.states.iter().map(|s| s.distance).collect();
+    // Nodes outside the component keep value 0 contributions: mask them.
+    let masked: Vec<u64> = values
+        .iter()
+        .enumerate()
+        .map(|(v, &x)| if distance[v].is_some() { x } else { 0 })
+        .collect();
+    let cast = ConvergeCast::new(parent.clone(), masked);
+    let run = crate::Simulator::new(g, seed).run(&cast, horizon + 2)?;
+    Ok((distance, parent, run.states[root].sum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use arbmis_graph::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn leader_election_elects_max() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = gen::gnp(60, 0.1, &mut rng);
+        let run = Simulator::new(&g, 1)
+            .run(&LeaderElect { rounds: 60 }, 200)
+            .unwrap();
+        let comps = arbmis_graph::traversal::connected_components(&g);
+        for v in 0..g.n() {
+            let expected = (0..g.n())
+                .filter(|&u| comps.label(u) == comps.label(v))
+                .max()
+                .unwrap() as u64;
+            assert_eq!(run.states[v].leader, expected, "node {v}");
+        }
+    }
+
+    #[test]
+    fn leader_election_is_message_frugal() {
+        // Silent-on-no-news keeps messages near O(m·diameter_of_change).
+        let g = gen::path(50);
+        let run = Simulator::new(&g, 1)
+            .run(&LeaderElect { rounds: 55 }, 200)
+            .unwrap();
+        // A naive re-broadcast-every-round would send 55·2·49 ≈ 5390.
+        assert!(run.metrics.messages < 3000, "messages {}", run.metrics.messages);
+    }
+
+    #[test]
+    fn bfs_tree_distances_match_centralized() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let g = gen::random_tree_prufer(80, &mut rng);
+        let run = Simulator::new(&g, 1)
+            .run(&BfsTree { root: 0, horizon: 90 }, 200)
+            .unwrap();
+        let expect = arbmis_graph::traversal::bfs_distances(&g, 0);
+        for (v, (st, &d)) in run.states.iter().zip(&expect).enumerate() {
+            assert_eq!(st.distance, Some(d as u64), "node {v}");
+        }
+        // Parent pointers decrease distance by exactly 1.
+        for v in 1..g.n() {
+            let p = run.states[v].parent.unwrap();
+            assert_eq!(expect[p] + 1, expect[v]);
+        }
+    }
+
+    #[test]
+    fn bfs_unreached_nodes() {
+        let g = arbmis_graph::Graph::from_edges(4, &[(0, 1)]);
+        let run = Simulator::new(&g, 1)
+            .run(&BfsTree { root: 0, horizon: 6 }, 20)
+            .unwrap();
+        assert_eq!(run.states[1].distance, Some(1));
+        assert_eq!(run.states[2].distance, None);
+        assert_eq!(run.states[3].parent, None);
+    }
+
+    #[test]
+    fn converge_cast_sums_tree() {
+        let g = gen::binary_tree(15);
+        // Parent pointers of the complete binary tree.
+        let parent: Vec<Option<usize>> = (0..15)
+            .map(|v| if v == 0 { None } else { Some((v - 1) / 2) })
+            .collect();
+        let values: Vec<u64> = (0..15).map(|v| v as u64 + 1).collect();
+        let cast = ConvergeCast::new(parent, values);
+        let run = Simulator::new(&g, 1).run(&cast, 50).unwrap();
+        assert_eq!(run.states[0].sum, (1..=15).sum::<u64>());
+        // Leaf-to-root latency = depth.
+        assert!(run.metrics.rounds <= 6);
+    }
+
+    #[test]
+    fn bfs_then_sum_pipeline() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let g = gen::forest_union(60, 2, &mut rng);
+        let values: Vec<u64> = (0..60).map(|v| v as u64).collect();
+        let (dist, parent, total) = bfs_then_sum(&g, 0, &values, 1).unwrap();
+        let comps = arbmis_graph::traversal::connected_components(&g);
+        let expect: u64 = (0..60)
+            .filter(|&v| comps.label(v) == comps.label(0))
+            .map(|v| v as u64)
+            .sum();
+        assert_eq!(total, expect);
+        assert_eq!(dist[0], Some(0));
+        assert_eq!(parent[0], None);
+    }
+}

@@ -1,0 +1,136 @@
+//! Wire encoding and bit accounting for CONGEST messages.
+//!
+//! The CONGEST model bounds each message to `O(log n)` bits. To make that
+//! bound *checkable* rather than aspirational, every message type must
+//! [`encode`](Message::encode) itself into bytes; the simulator measures
+//! the encoding of every message it delivers and rejects runs whose
+//! messages exceed the bandwidth budget.
+
+use bytes::BufMut;
+
+/// A message that knows its own wire encoding.
+///
+/// Implementations should encode compactly — the whole point is honest
+/// `O(log n)`-bit accounting. Varint encoding is provided via
+/// [`put_varint`] for integer fields whose typical values are small.
+pub trait Message: Clone + std::fmt::Debug {
+    /// Appends the wire encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Size of the wire encoding in bits.
+    fn bit_size(&self) -> usize {
+        let mut buf = Vec::with_capacity(16);
+        self.encode(&mut buf);
+        buf.len() * 8
+    }
+}
+
+/// LEB128-style varint: 7 payload bits per byte.
+pub fn put_varint(buf: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`put_varint`] uses for `x`.
+pub fn varint_len(x: u64) -> usize {
+    let bits = 64 - x.leading_zeros() as usize;
+    bits.div_ceil(7).max(1)
+}
+
+impl Message for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, *self);
+    }
+}
+
+impl Message for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, u64::from(*self));
+    }
+}
+
+impl Message for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u8(u8::from(*self));
+    }
+}
+
+impl Message for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+
+    fn bit_size(&self) -> usize {
+        0
+    }
+}
+
+impl<A: Message, B: Message> Message for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<T: Message> Message for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.put_u8(0),
+            Some(t) => {
+                buf.put_u8(1);
+                t.encode(buf);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_lengths() {
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(u64::MAX), 10);
+        for x in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, x);
+            assert_eq!(buf.len(), varint_len(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn u64_message_size_scales() {
+        assert_eq!(5u64.bit_size(), 8);
+        assert_eq!((1u64 << 40).bit_size(), 48);
+    }
+
+    #[test]
+    fn unit_message_free() {
+        assert_eq!(().bit_size(), 0);
+    }
+
+    #[test]
+    fn tuple_message_sums() {
+        let m = (3u64, 300u64);
+        assert_eq!(m.bit_size(), 8 + 16);
+    }
+
+    #[test]
+    fn option_message_tagged() {
+        assert_eq!(Option::<u64>::None.bit_size(), 8);
+        assert_eq!(Some(5u64).bit_size(), 16);
+    }
+
+    #[test]
+    fn bool_message() {
+        assert_eq!(true.bit_size(), 8);
+    }
+}

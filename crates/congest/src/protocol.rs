@@ -1,0 +1,121 @@
+//! The protocol abstraction: a distributed algorithm as a per-node state
+//! machine.
+
+use crate::message::Message;
+use arbmis_graph::NodeId;
+
+/// Immutable per-node context handed to every callback.
+///
+/// Mirrors what a CONGEST node knows locally: its id, its degree and
+/// neighbor ids (port numbering), the network size `n` (standard
+/// assumption), the global round number, and the RNG seed from which it
+/// derives private randomness via [`crate::rng`].
+#[derive(Clone, Debug)]
+pub struct NodeInfo<'a> {
+    /// This node's id.
+    pub id: NodeId,
+    /// Total number of nodes in the network.
+    pub n: usize,
+    /// Sorted neighbor ids.
+    pub neighbors: &'a [NodeId],
+    /// Current round (0-based; `round` 0 is the first invocation after
+    /// `init`).
+    pub round: u64,
+    /// Master seed; combine with `id`/`round` via [`crate::rng::draw`].
+    pub seed: u64,
+}
+
+impl NodeInfo<'_> {
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Private uniform `u64` for this `(node, round, tag)`.
+    pub fn draw(&self, tag: u64) -> u64 {
+        crate::rng::draw(self.seed, self.id, self.round, tag)
+    }
+
+    /// Private uniform `f64` in `[0,1)` for this `(node, round, tag)`.
+    pub fn draw_unit(&self, tag: u64) -> f64 {
+        crate::rng::draw_unit(self.seed, self.id, self.round, tag)
+    }
+}
+
+/// Messages received this round, as `(sender, payload)` pairs sorted by
+/// sender id.
+pub type Inbox<M> = Vec<(NodeId, M)>;
+
+/// What a node emits at the end of a round.
+#[derive(Clone, Debug)]
+pub enum Outgoing<M> {
+    /// Send nothing this round.
+    Silent,
+    /// Send the same message to every neighbor (one copy per edge — each
+    /// copy is accounted against the bandwidth budget).
+    Broadcast(M),
+    /// Send distinct messages to selected neighbors.
+    Unicast(Vec<(NodeId, M)>),
+    /// Send nothing, and mark that this node will never send again. Once
+    /// every node has halted the simulation stops even if `is_done` is
+    /// still false for some (useful for passive states).
+    Halt,
+}
+
+/// A distributed algorithm in the CONGEST model.
+///
+/// The simulator calls [`init`](Protocol::init) once per node, then
+/// repeatedly: deliver the previous round's messages via `inbox`, call
+/// [`round`](Protocol::round), and route the returned [`Outgoing`].
+/// Execution stops when every node satisfies
+/// [`is_done`](Protocol::is_done) (or has halted).
+pub trait Protocol {
+    /// Per-node local state.
+    type State;
+    /// Message type exchanged on edges.
+    type Msg: Message;
+
+    /// Creates node-local state before round 0. No messages yet.
+    fn init(&self, node: &NodeInfo) -> Self::State;
+
+    /// One synchronous round: consume `inbox` (messages sent in the
+    /// previous round), update state, emit messages.
+    fn round(
+        &self,
+        state: &mut Self::State,
+        node: &NodeInfo,
+        inbox: &Inbox<Self::Msg>,
+    ) -> Outgoing<Self::Msg>;
+
+    /// Whether this node has produced its final output.
+    fn is_done(&self, state: &Self::State) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_info_accessors() {
+        let nbrs = [1usize, 2, 3];
+        let info = NodeInfo {
+            id: 0,
+            n: 4,
+            neighbors: &nbrs,
+            round: 5,
+            seed: 9,
+        };
+        assert_eq!(info.degree(), 3);
+        assert_eq!(info.draw(0), crate::rng::draw(9, 0, 5, 0));
+        let u = info.draw_unit(1);
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn outgoing_debug_impls() {
+        let o: Outgoing<u64> = Outgoing::Broadcast(3);
+        assert!(format!("{o:?}").contains("Broadcast"));
+        let s: Outgoing<u64> = Outgoing::Silent;
+        assert!(format!("{s:?}").contains("Silent"));
+    }
+}

@@ -1,0 +1,457 @@
+//! The round-driving engine.
+
+use crate::message::Message;
+use crate::metrics::Metrics;
+use crate::protocol::{Inbox, NodeInfo, Outgoing, Protocol};
+use arbmis_graph::{Graph, NodeId};
+use std::fmt;
+
+/// Errors a simulation can end with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimulatorError {
+    /// The protocol did not terminate within the round limit.
+    RoundLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+        /// How many nodes were still not done.
+        pending: usize,
+    },
+    /// A message exceeded the CONGEST bandwidth budget.
+    BandwidthExceeded {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Offending message size in bits.
+        bits: usize,
+        /// The enforced budget in bits.
+        budget: usize,
+    },
+    /// A node unicast to a non-neighbor.
+    NotANeighbor {
+        /// Sending node.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for SimulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulatorError::RoundLimitExceeded { limit, pending } => {
+                write!(f, "round limit {limit} exceeded with {pending} nodes pending")
+            }
+            SimulatorError::BandwidthExceeded { from, to, bits, budget } => write!(
+                f,
+                "message {from}->{to} of {bits} bits exceeds budget {budget} bits"
+            ),
+            SimulatorError::NotANeighbor { from, to } => {
+                write!(f, "node {from} unicast to non-neighbor {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimulatorError {}
+
+/// The result of a completed simulation.
+#[derive(Clone, Debug)]
+pub struct SimulatorRun<S> {
+    /// Final per-node states, indexed by node id.
+    pub states: Vec<S>,
+    /// Round/message/bit counters.
+    pub metrics: Metrics,
+}
+
+/// Drives a [`Protocol`] over a [`Graph`] in synchronous rounds.
+///
+/// The CONGEST bandwidth budget defaults to `16 · ⌈log₂ n⌉` bits per
+/// message (a generous but honest `O(log n)`; our encodings are byte
+/// granular, so a handful of log-sized fields fit). Use
+/// [`with_bandwidth_factor`](Simulator::with_bandwidth_factor) or
+/// [`without_budget`](Simulator::without_budget) to adjust.
+#[derive(Clone, Debug)]
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    seed: u64,
+    budget_bits: Option<usize>,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator over `graph` with master randomness `seed`.
+    pub fn new(graph: &'g Graph, seed: u64) -> Self {
+        let logn = (graph.n().max(2) as f64).log2().ceil() as usize;
+        Simulator {
+            graph,
+            seed,
+            budget_bits: Some(16 * logn.max(1)),
+        }
+    }
+
+    /// Overrides the per-message budget to `factor · ⌈log₂ n⌉` bits.
+    pub fn with_bandwidth_factor(mut self, factor: usize) -> Self {
+        let logn = (self.graph.n().max(2) as f64).log2().ceil() as usize;
+        self.budget_bits = Some(factor * logn.max(1));
+        self
+    }
+
+    /// Disables bandwidth enforcement (LOCAL-model behaviour).
+    pub fn without_budget(mut self) -> Self {
+        self.budget_bits = None;
+        self
+    }
+
+    /// The enforced per-message budget in bits, if any.
+    pub fn budget_bits(&self) -> Option<usize> {
+        self.budget_bits
+    }
+
+    /// Runs `protocol` until every node is done (or has halted), up to
+    /// `max_rounds` rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`SimulatorError::RoundLimitExceeded`] if termination is not
+    /// reached; [`SimulatorError::BandwidthExceeded`] /
+    /// [`SimulatorError::NotANeighbor`] on protocol misbehaviour.
+    pub fn run<P: Protocol>(
+        &self,
+        protocol: &P,
+        max_rounds: u64,
+    ) -> Result<SimulatorRun<P::State>, SimulatorError> {
+        self.run_impl(protocol, max_rounds, None)
+    }
+
+    /// Like [`run`](Self::run), but additionally records a full
+    /// per-message [`crate::transcript::Transcript`] (who sent how many
+    /// bits to whom, each round).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_traced<P: Protocol>(
+        &self,
+        protocol: &P,
+        max_rounds: u64,
+    ) -> Result<(SimulatorRun<P::State>, crate::transcript::Transcript), SimulatorError> {
+        let mut transcript = crate::transcript::Transcript::new();
+        let run = self.run_impl(protocol, max_rounds, Some(&mut transcript))?;
+        Ok((run, transcript))
+    }
+
+    fn run_impl<P: Protocol>(
+        &self,
+        protocol: &P,
+        max_rounds: u64,
+        mut transcript: Option<&mut crate::transcript::Transcript>,
+    ) -> Result<SimulatorRun<P::State>, SimulatorError> {
+        let g = self.graph;
+        let n = g.n();
+        let mut metrics = Metrics {
+            budget_bits: self.budget_bits,
+            ..Metrics::default()
+        };
+
+        let mut states: Vec<P::State> = (0..n)
+            .map(|v| {
+                let info = NodeInfo {
+                    id: v,
+                    n,
+                    neighbors: g.neighbors(v),
+                    round: 0,
+                    seed: self.seed,
+                };
+                protocol.init(&info)
+            })
+            .collect();
+
+        let mut halted = vec![false; n];
+        let mut inboxes: Vec<Inbox<P::Msg>> = vec![Vec::new(); n];
+        let mut next_inboxes: Vec<Inbox<P::Msg>> = vec![Vec::new(); n];
+
+        for round in 0..max_rounds {
+            if (0..n).all(|v| protocol.is_done(&states[v]) || halted[v]) {
+                metrics.rounds = round;
+                return Ok(SimulatorRun { states, metrics });
+            }
+            for v in 0..n {
+                if halted[v] {
+                    continue;
+                }
+                let info = NodeInfo {
+                    id: v,
+                    n,
+                    neighbors: g.neighbors(v),
+                    round,
+                    seed: self.seed,
+                };
+                let out = protocol.round(&mut states[v], &info, &inboxes[v]);
+                match out {
+                    Outgoing::Silent => {}
+                    Outgoing::Halt => halted[v] = true,
+                    Outgoing::Broadcast(msg) => {
+                        let bits = msg.bit_size();
+                        for &u in g.neighbors(v) {
+                            self.check_bits(v, u, bits)?;
+                            metrics.record_message(bits);
+                            if let Some(t) = transcript.as_deref_mut() {
+                                t.record(round, v, u, bits);
+                            }
+                            next_inboxes[u].push((v, msg.clone()));
+                        }
+                    }
+                    Outgoing::Unicast(list) => {
+                        for (u, msg) in list {
+                            if !g.has_edge(v, u) {
+                                return Err(SimulatorError::NotANeighbor { from: v, to: u });
+                            }
+                            let bits = msg.bit_size();
+                            self.check_bits(v, u, bits)?;
+                            metrics.record_message(bits);
+                            if let Some(t) = transcript.as_deref_mut() {
+                                t.record(round, v, u, bits);
+                            }
+                            next_inboxes[u].push((v, msg));
+                        }
+                    }
+                }
+            }
+            for v in 0..n {
+                inboxes[v].clear();
+                std::mem::swap(&mut inboxes[v], &mut next_inboxes[v]);
+                // Deliver sorted by sender for determinism.
+                inboxes[v].sort_by_key(|&(s, _)| s);
+            }
+        }
+
+        if (0..n).all(|v| protocol.is_done(&states[v]) || halted[v]) {
+            metrics.rounds = max_rounds;
+            return Ok(SimulatorRun { states, metrics });
+        }
+        let pending = (0..n)
+            .filter(|&v| !protocol.is_done(&states[v]) && !halted[v])
+            .count();
+        Err(SimulatorError::RoundLimitExceeded {
+            limit: max_rounds,
+            pending,
+        })
+    }
+
+    fn check_bits(&self, from: NodeId, to: NodeId, bits: usize) -> Result<(), SimulatorError> {
+        if let Some(budget) = self.budget_bits {
+            if bits > budget {
+                return Err(SimulatorError::BandwidthExceeded {
+                    from,
+                    to,
+                    bits,
+                    budget,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbmis_graph::gen;
+
+    /// Each node floods the max id it has seen; terminates after `k`
+    /// rounds (enough on a path of diameter < k).
+    struct FloodMax {
+        rounds: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    struct FloodState {
+        best: u64,
+        done: bool,
+    }
+
+    impl Protocol for FloodMax {
+        type State = FloodState;
+        type Msg = u64;
+
+        fn init(&self, node: &NodeInfo) -> FloodState {
+            FloodState {
+                best: node.id as u64,
+                done: false,
+            }
+        }
+
+        fn round(
+            &self,
+            state: &mut FloodState,
+            node: &NodeInfo,
+            inbox: &Inbox<u64>,
+        ) -> Outgoing<u64> {
+            for &(_, b) in inbox {
+                state.best = state.best.max(b);
+            }
+            if node.round >= self.rounds {
+                state.done = true;
+                Outgoing::Silent
+            } else {
+                Outgoing::Broadcast(state.best)
+            }
+        }
+
+        fn is_done(&self, state: &FloodState) -> bool {
+            state.done
+        }
+    }
+
+    #[test]
+    fn flood_max_converges_on_path() {
+        let g = gen::path(10);
+        let run = Simulator::new(&g, 1).run(&FloodMax { rounds: 10 }, 100).unwrap();
+        assert!(run.states.iter().all(|s| s.best == 9));
+        assert_eq!(run.metrics.rounds, 11);
+        assert!(run.metrics.within_budget());
+    }
+
+    #[test]
+    fn round_limit_error() {
+        let g = gen::path(4);
+        let err = Simulator::new(&g, 1)
+            .run(&FloodMax { rounds: 50 }, 5)
+            .unwrap_err();
+        match err {
+            SimulatorError::RoundLimitExceeded { limit, pending } => {
+                assert_eq!(limit, 5);
+                assert_eq!(pending, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn message_accounting() {
+        let g = gen::star(5); // hub degree 4
+        let run = Simulator::new(&g, 1).run(&FloodMax { rounds: 1 }, 10).unwrap();
+        // Round 0: every node broadcasts once -> 2m = 8 messages.
+        assert_eq!(run.metrics.messages, 8);
+        assert!(run.metrics.max_message_bits <= 8);
+    }
+
+    /// A protocol that always sends an oversized message.
+    struct Oversize;
+    impl Protocol for Oversize {
+        type State = ();
+        type Msg = BigMsg;
+        fn init(&self, _node: &NodeInfo) {}
+        fn round(&self, _s: &mut (), _n: &NodeInfo, _i: &Inbox<BigMsg>) -> Outgoing<BigMsg> {
+            Outgoing::Broadcast(BigMsg)
+        }
+        fn is_done(&self, _s: &()) -> bool {
+            false
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    struct BigMsg;
+    impl Message for BigMsg {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&[0u8; 1024]);
+        }
+    }
+
+    #[test]
+    fn bandwidth_violation_detected() {
+        let g = gen::path(4);
+        let err = Simulator::new(&g, 1).run(&Oversize, 3).unwrap_err();
+        assert!(matches!(err, SimulatorError::BandwidthExceeded { .. }));
+        // Without budget it instead hits the round limit.
+        let err2 = Simulator::new(&g, 1)
+            .without_budget()
+            .run(&Oversize, 3)
+            .unwrap_err();
+        assert!(matches!(err2, SimulatorError::RoundLimitExceeded { .. }));
+    }
+
+    /// Unicast to a non-neighbor must be rejected.
+    struct BadUnicast;
+    impl Protocol for BadUnicast {
+        type State = ();
+        type Msg = u64;
+        fn init(&self, _node: &NodeInfo) {}
+        fn round(&self, _s: &mut (), node: &NodeInfo, _i: &Inbox<u64>) -> Outgoing<u64> {
+            if node.id == 0 {
+                Outgoing::Unicast(vec![(node.n - 1, 7u64)])
+            } else {
+                Outgoing::Silent
+            }
+        }
+        fn is_done(&self, _s: &()) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn non_neighbor_unicast_detected() {
+        let g = gen::path(5);
+        let err = Simulator::new(&g, 1).run(&BadUnicast, 3).unwrap_err();
+        assert_eq!(err, SimulatorError::NotANeighbor { from: 0, to: 4 });
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        use rand::SeedableRng;
+        let g = gen::gnp(50, 0.1, &mut rand::rngs::StdRng::seed_from_u64(9));
+        let r1 = Simulator::new(&g, 77).run(&FloodMax { rounds: 8 }, 50).unwrap();
+        let r2 = Simulator::new(&g, 77).run(&FloodMax { rounds: 8 }, 50).unwrap();
+        assert_eq!(r1.metrics, r2.metrics);
+        let b1: Vec<u64> = r1.states.iter().map(|s| s.best).collect();
+        let b2: Vec<u64> = r2.states.iter().map(|s| s.best).collect();
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn halt_stops_simulation() {
+        struct HaltNow;
+        impl Protocol for HaltNow {
+            type State = ();
+            type Msg = u64;
+            fn init(&self, _n: &NodeInfo) {}
+            fn round(&self, _s: &mut (), _n: &NodeInfo, _i: &Inbox<u64>) -> Outgoing<u64> {
+                Outgoing::Halt
+            }
+            fn is_done(&self, _s: &()) -> bool {
+                false
+            }
+        }
+        let g = gen::path(4);
+        let run = Simulator::new(&g, 1).run(&HaltNow, 10).unwrap();
+        assert_eq!(run.metrics.rounds, 1);
+        assert_eq!(run.metrics.messages, 0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let g = gen::cycle(12);
+        let plain = Simulator::new(&g, 3).run(&FloodMax { rounds: 8 }, 50).unwrap();
+        let (traced, transcript) = Simulator::new(&g, 3)
+            .run_traced(&FloodMax { rounds: 8 }, 50)
+            .unwrap();
+        assert_eq!(plain.metrics, traced.metrics);
+        assert_eq!(transcript.len() as u64, plain.metrics.messages);
+        // Round profile sums to the message count.
+        assert_eq!(
+            transcript.round_profile().iter().sum::<usize>() as u64,
+            plain.metrics.messages
+        );
+        // Deterministic: same seed, same digest.
+        let (_, t2) = Simulator::new(&g, 3)
+            .run_traced(&FloodMax { rounds: 8 }, 50)
+            .unwrap();
+        assert_eq!(transcript.digest(), t2.digest());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SimulatorError::RoundLimitExceeded { limit: 3, pending: 2 };
+        assert!(e.to_string().contains("round limit"));
+    }
+}

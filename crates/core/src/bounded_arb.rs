@@ -1,0 +1,383 @@
+//! `BoundedArbIndependentSet` — Algorithm 1 of the paper.
+//!
+//! A parameter-rescaled `TreeIndependentSet` (Barenboim–Elkin–Pettie–
+//! Schneider, FOCS 2012) run on arboricity-α graphs. The algorithm
+//! proceeds in `Θ` *scales*; in scale `k` it runs `Λ` iterations of the
+//! Métivier priority step, but nodes whose active degree exceeds the
+//! cutoff `ρ_k` deterministically set their priority to 0 (they *opt out*
+//! of the competition — the device that makes the node-vs-parent event a
+//! read-ρ_k family, Theorem 3.2). After the `Λ` iterations, any node with
+//! more than `Δ/2^{k+2}` high-degree active neighbors is exiled to the
+//! "bad" set `B` (step 2(b)), enforcing the Invariant by construction.
+//!
+//! The algorithm returns the independent-but-not-maximal set `I`, the bad
+//! set `B`, and the residual active set `VIB`; Algorithm 2
+//! ([`mod@crate::arb_mis`]) finishes those up. Notably, the algorithm never
+//! needs an edge orientation or forest decomposition — those exist only in
+//! the analysis.
+
+use crate::params::{ArbParams, ParamMode};
+use crate::trace::ScaleTrace;
+use arbmis_graph::{ActiveView, Graph, NodeId};
+use arbmis_congest::rng;
+use serde::{Deserialize, Serialize};
+
+/// Randomness tag for priority draws (shared with the CONGEST protocol).
+pub const TAG_PRIORITY: u64 = 0x4241_5249; // "BARI"
+
+/// CONGEST rounds per inner iteration (priorities, join bits, exit bits).
+pub const ROUNDS_PER_ITERATION: u64 = 3;
+
+/// CONGEST rounds per scale for step 2(b) (degree exchange, bad exits).
+pub const ROUNDS_PER_SCALE_END: u64 = 2;
+
+/// Configuration of one `BoundedArbIndependentSet` run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BoundedArbConfig {
+    /// Arboricity bound `α` of the input (the only promise the algorithm
+    /// needs).
+    pub alpha: usize,
+    /// Parameter regime (see [`ParamMode`]).
+    pub mode: ParamMode,
+    /// Master randomness seed.
+    pub seed: u64,
+    /// Whether the `ρ_k` opt-out is active. Disabling it is the E12
+    /// ablation: the algorithm still runs, but the read-ρ_k structure of
+    /// Event (2) is destroyed.
+    pub rho_cutoff: bool,
+    /// Record per-iteration joiner counts in the trace (costs memory).
+    pub record_iterations: bool,
+}
+
+impl BoundedArbConfig {
+    /// Practical-mode defaults for arboricity `alpha`.
+    pub fn new(alpha: usize, seed: u64) -> Self {
+        BoundedArbConfig {
+            alpha,
+            mode: ParamMode::default(),
+            seed,
+            rho_cutoff: true,
+            record_iterations: false,
+        }
+    }
+}
+
+/// Output of `BoundedArbIndependentSet`: the paper's `(I, B)` plus the
+/// residual `VIB` and observability data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShatterOutcome {
+    /// Independent set `I` (independent, *not* necessarily maximal).
+    pub in_mis: Vec<bool>,
+    /// Bad set `B`.
+    pub bad: Vec<bool>,
+    /// Residual active set `VIB` at termination.
+    pub active: Vec<bool>,
+    /// Total inner iterations executed.
+    pub iterations: u64,
+    /// CONGEST rounds (iterations·3 + scales·2).
+    pub rounds: u64,
+    /// The instantiated parameter schedule.
+    pub params: ArbParams,
+    /// Per-scale statistics.
+    pub trace: Vec<ScaleTrace>,
+}
+
+impl ShatterOutcome {
+    /// Number of nodes in `I`.
+    pub fn mis_size(&self) -> usize {
+        self.in_mis.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of nodes in `B`.
+    pub fn bad_size(&self) -> usize {
+        self.bad.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of residual active nodes.
+    pub fn active_size(&self) -> usize {
+        self.active.iter().filter(|&&b| b).count()
+    }
+}
+
+/// The priority of node `v` in global iteration `iter`: 0 when opted out,
+/// otherwise a nonzero `O(log n)`-bit value; ties broken by id at
+/// comparison sites.
+#[inline]
+pub(crate) fn draw_priority(seed: u64, v: NodeId, iter: u64, n: usize) -> u64 {
+    rng::draw_priority(seed, v, iter, TAG_PRIORITY, n)
+}
+
+/// Runs Algorithm 1.
+///
+/// # Panics
+///
+/// Panics if `cfg.alpha == 0`.
+///
+/// ```
+/// use arbmis_core::bounded_arb::{bounded_arb_independent_set, BoundedArbConfig};
+/// use arbmis_graph::gen;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let g = gen::random_ktree(500, 2, &mut rng);
+/// let out = bounded_arb_independent_set(&g, &BoundedArbConfig::new(2, 7));
+/// // I is independent; I, B, VIB partition the decided/undecided world.
+/// assert!(arbmis_core::is_independent(&g, &out.in_mis));
+/// ```
+pub fn bounded_arb_independent_set(g: &Graph, cfg: &BoundedArbConfig) -> ShatterOutcome {
+    let params = ArbParams::new(cfg.alpha, g.max_degree(), cfg.mode);
+    let mut view = ActiveView::new(g);
+    let mut in_mis = vec![false; g.n()];
+    let mut bad = vec![false; g.n()];
+    let mut trace = Vec::with_capacity(params.theta as usize);
+    let mut global_iter = 0u64;
+
+    for k in 1..=params.theta {
+        let rho = params.rho(k);
+        let active_start = view.active_count();
+        let mut joined = 0usize;
+        let mut eliminated = 0usize;
+        let mut joined_per_iteration = Vec::new();
+
+        // The schedule is oblivious: exactly Λ iterations run per scale
+        // (the paper's algorithm never adaptively stops), so iteration
+        // indices — and hence priority draws — are a pure function of the
+        // schedule. This keeps the fast path and the CONGEST protocol
+        // bit-identical. Empty iterations only bump the counter.
+        for _ in 0..params.lambda {
+            if view.active_count() > 0 {
+                let joiners = iteration_joiners(&view, cfg, rho, global_iter);
+                if cfg.record_iterations {
+                    joined_per_iteration.push(joiners.len());
+                }
+                for &v in &joiners {
+                    in_mis[v] = true;
+                    joined += 1;
+                    let nbrs: Vec<NodeId> = view.active_neighbors(v).collect();
+                    view.deactivate(v);
+                    for u in nbrs {
+                        eliminated += 1;
+                        view.deactivate(u);
+                    }
+                }
+            } else if cfg.record_iterations {
+                joined_per_iteration.push(0);
+            }
+            global_iter += 1;
+        }
+
+        // Step 2(b): exile Invariant violators to B.
+        let violators = crate::invariant::invariant_violators(&view, &params, k);
+        for &v in &violators {
+            bad[v] = true;
+            view.deactivate(v);
+        }
+
+        trace.push(ScaleTrace {
+            k,
+            rho,
+            iterations: params.lambda,
+            active_start,
+            active_end: view.active_count(),
+            joined,
+            eliminated,
+            bad_marked: violators.len(),
+            max_active_degree_end: view.max_active_degree(),
+            joined_per_iteration,
+        });
+    }
+
+    let iterations = global_iter;
+    let rounds =
+        iterations * ROUNDS_PER_ITERATION + u64::from(params.theta) * ROUNDS_PER_SCALE_END;
+    ShatterOutcome {
+        in_mis,
+        bad,
+        active: view.mask().to_vec(),
+        iterations,
+        rounds,
+        params,
+        trace,
+    }
+}
+
+/// One iteration's joiners: competitive nodes beating all active
+/// neighbors, with `(priority, id)` tie-break. Non-competitive nodes have
+/// priority 0 and can neither join nor block a competitive neighbor —
+/// except against other priority-0 nodes, which simply never join,
+/// matching the paper (a node joins only on a *strictly greater*
+/// priority, and `0 > 0` is false; our `(0, id)` comparison would let a
+/// 0-priority node "beat" another, so competitiveness is required
+/// explicitly).
+fn iteration_joiners(
+    view: &ActiveView<'_>,
+    cfg: &BoundedArbConfig,
+    rho: f64,
+    iter: u64,
+) -> Vec<NodeId> {
+    let n = view.graph().n();
+    let competitive =
+        |v: NodeId| -> bool { !cfg.rho_cutoff || (view.active_degree(v) as f64) <= rho };
+    let pri = |v: NodeId| -> (u64, NodeId) {
+        if competitive(v) {
+            (draw_priority(cfg.seed, v, iter, n), v)
+        } else {
+            (0, v)
+        }
+    };
+    view.active_nodes()
+        .filter(|&v| {
+            competitive(v) && {
+                let pv = pri(v);
+                view.active_neighbors(v).all(|u| pv > pri(u))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_independent;
+    use arbmis_graph::gen;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn sets_partition_consistently(g: &Graph, out: &ShatterOutcome) {
+        for v in g.nodes() {
+            let states = [out.in_mis[v], out.bad[v], out.active[v]];
+            let count = states.iter().filter(|&&b| b).count();
+            assert!(count <= 1, "node {v} in multiple sets");
+            // A node in none of the sets must be a neighbor of I.
+            if count == 0 {
+                assert!(
+                    g.neighbors(v).iter().any(|&u| out.in_mis[u]),
+                    "node {v} vanished without an MIS neighbor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_sets_are_consistent() {
+        let mut r = rng(1);
+        let g = gen::random_ktree(400, 2, &mut r);
+        let out = bounded_arb_independent_set(&g, &BoundedArbConfig::new(2, 3));
+        assert!(is_independent(&g, &out.in_mis));
+        sets_partition_consistently(&g, &out);
+        assert_eq!(out.trace.len(), out.params.theta as usize);
+    }
+
+    #[test]
+    fn active_nodes_have_no_mis_neighbor() {
+        let mut r = rng(2);
+        let g = gen::apollonian(300, &mut r);
+        let out = bounded_arb_independent_set(&g, &BoundedArbConfig::new(3, 5));
+        for v in g.nodes() {
+            if out.active[v] {
+                assert!(!out.in_mis[v]);
+                assert!(g.neighbors(v).iter().all(|&u| !out.in_mis[u]));
+            }
+        }
+    }
+
+    #[test]
+    fn shattering_reduces_active_set_substantially() {
+        let mut r = rng(3);
+        let g = gen::forest_union(2000, 2, &mut r);
+        let out = bounded_arb_independent_set(&g, &BoundedArbConfig::new(2, 9));
+        assert!(
+            out.active_size() + out.bad_size() < g.n() / 2,
+            "residual {} + bad {} too large",
+            out.active_size(),
+            out.bad_size()
+        );
+    }
+
+    #[test]
+    fn trace_counts_add_up() {
+        let mut r = rng(4);
+        let g = gen::random_ktree(300, 3, &mut r);
+        let mut cfg = BoundedArbConfig::new(3, 11);
+        cfg.record_iterations = true;
+        let out = bounded_arb_independent_set(&g, &cfg);
+        for t in &out.trace {
+            assert_eq!(
+                t.active_start - t.active_end,
+                t.joined + t.eliminated + t.bad_marked,
+                "scale {} bookkeeping",
+                t.k
+            );
+            assert_eq!(t.joined_per_iteration.iter().sum::<usize>(), t.joined);
+        }
+        let total_joined: usize = out.trace.iter().map(|t| t.joined).sum();
+        assert_eq!(total_joined, out.mis_size());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r = rng(5);
+        let g = gen::barabasi_albert(300, 2, &mut r);
+        let a = bounded_arb_independent_set(&g, &BoundedArbConfig::new(2, 21));
+        let b = bounded_arb_independent_set(&g, &BoundedArbConfig::new(2, 21));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faithful_mode_with_zero_theta_is_a_noop() {
+        let mut r = rng(6);
+        let g = gen::random_tree_prufer(100, &mut r);
+        let cfg = BoundedArbConfig {
+            alpha: 1,
+            mode: ParamMode::Faithful { p: 1 },
+            seed: 1,
+            rho_cutoff: true,
+            record_iterations: false,
+        };
+        let out = bounded_arb_independent_set(&g, &cfg);
+        // Δ too small for any faithful scale: nothing happens.
+        assert_eq!(out.params.theta, 0);
+        assert_eq!(out.mis_size(), 0);
+        assert_eq!(out.active_size(), g.n());
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn ablation_without_cutoff_still_independent() {
+        let mut r = rng(7);
+        let g = gen::barabasi_albert(400, 3, &mut r);
+        let cfg = BoundedArbConfig {
+            rho_cutoff: false,
+            ..BoundedArbConfig::new(3, 2)
+        };
+        let out = bounded_arb_independent_set(&g, &cfg);
+        assert!(is_independent(&g, &out.in_mis));
+        sets_partition_consistently(&g, &out);
+    }
+
+    #[test]
+    fn rounds_formula() {
+        let mut r = rng(8);
+        let g = gen::random_ktree(200, 2, &mut r);
+        let out = bounded_arb_independent_set(&g, &BoundedArbConfig::new(2, 1));
+        assert_eq!(
+            out.rounds,
+            out.iterations * ROUNDS_PER_ITERATION
+                + u64::from(out.params.theta) * ROUNDS_PER_SCALE_END
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = Graph::empty(0);
+        let out = bounded_arb_independent_set(&g, &BoundedArbConfig::new(1, 0));
+        assert_eq!(out.mis_size(), 0);
+        let g1 = Graph::empty(5);
+        let out1 = bounded_arb_independent_set(&g1, &BoundedArbConfig::new(1, 0));
+        // Δ = 0: no scales; everything stays active for the finisher.
+        assert_eq!(out1.active_size(), 5);
+    }
+}

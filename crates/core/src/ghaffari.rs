@@ -1,0 +1,165 @@
+//! Ghaffari's desire-level MIS algorithm (SODA 2016).
+//!
+//! Every node maintains a *desire level* `p_v`, initially 1/2, always a
+//! power of two in `(0, 1/2]`. Each iteration a node marks itself with
+//! probability `p_v`; a marked node with no marked active neighbor joins
+//! the MIS. The desire level then adapts to the *effective degree*
+//! `d_v = Σ_{active u ∈ N(v)} p_u`: if `d_v ≥ 2` the node halves `p_v`,
+//! otherwise it doubles it (capped at 1/2). Runs in
+//! `O(log Δ) + 2^{O(√(log log n))}` rounds whp; the paper cites the
+//! `O(log α + √(log n))` corollary for arboricity-α graphs as the fastest
+//! known, dominating its own bound (§1.2).
+//!
+//! Desire levels being powers of two means the CONGEST protocol only
+//! exchanges exponents — `O(log log Δ)` bits.
+
+use crate::result::MisRun;
+use arbmis_graph::{ActiveView, Graph, NodeId};
+use arbmis_congest::rng;
+
+/// Randomness tag for marking coins.
+pub const TAG_MARK: u64 = 0x4748_4146; // "GHAF"
+
+/// CONGEST rounds per iteration: exchange (exponent, mark), join bits,
+/// exit bits.
+pub const ROUNDS_PER_ITERATION: u64 = 3;
+
+/// Hard iteration cap: Ghaffari's algorithm terminates whp long before
+/// this; exceeding it indicates a bug and panics.
+fn iteration_cap(n: usize) -> u64 {
+    let logn = (n.max(2) as f64).log2();
+    2000 + (60.0 * logn * logn) as u64
+}
+
+/// Whether `v` marks itself in `iter` at desire exponent `e` (`p = 2^-e`).
+#[inline]
+pub fn is_marked(seed: u64, v: NodeId, iter: u64, e: u32) -> bool {
+    rng::draw_unit(seed, v, iter, TAG_MARK) < 0.5f64.powi(e as i32)
+}
+
+/// Runs Ghaffari's algorithm to completion.
+///
+/// # Panics
+///
+/// Panics if the (generous) internal iteration cap is exceeded, which
+/// would indicate an implementation bug rather than bad luck.
+///
+/// ```
+/// use arbmis_graph::gen;
+/// let g = gen::grid(8, 8);
+/// let run = arbmis_core::ghaffari::run(&g, 5);
+/// assert!(arbmis_core::check_mis(&g, &run.in_mis).is_ok());
+/// ```
+pub fn run(g: &Graph, seed: u64) -> MisRun {
+    let n = g.n();
+    let mut view = ActiveView::new(g);
+    let mut in_mis = vec![false; n];
+    // Desire exponent e_v: p_v = 2^{-e_v}, e_v ≥ 1.
+    let mut exponent = vec![1u32; n];
+    let cap = iteration_cap(n);
+    let mut iter = 0u64;
+    while view.active_count() > 0 {
+        assert!(iter < cap, "ghaffari exceeded iteration cap {cap}");
+        let marked: Vec<bool> = (0..n)
+            .map(|v| view.is_active(v) && is_marked(seed, v, iter, exponent[v]))
+            .collect();
+        let joiners: Vec<NodeId> = view
+            .active_nodes()
+            .filter(|&v| marked[v] && view.active_neighbors(v).all(|u| !marked[u]))
+            .collect();
+        // Desire update uses the *pre-removal* neighborhood, matching the
+        // algorithm's simultaneous semantics.
+        let new_exponent: Vec<u32> = (0..n)
+            .map(|v| {
+                if !view.is_active(v) {
+                    return exponent[v];
+                }
+                let d: f64 = view
+                    .active_neighbors(v)
+                    .map(|u| 0.5f64.powi(exponent[u] as i32))
+                    .sum();
+                if d >= 2.0 {
+                    exponent[v] + 1
+                } else {
+                    exponent[v].saturating_sub(1).max(1)
+                }
+            })
+            .collect();
+        exponent = new_exponent;
+        for &v in &joiners {
+            in_mis[v] = true;
+            let nbrs: Vec<NodeId> = view.active_neighbors(v).collect();
+            view.deactivate(v);
+            for u in nbrs {
+                view.deactivate(u);
+            }
+        }
+        iter += 1;
+    }
+    MisRun::new(in_mis, iter, iter * ROUNDS_PER_ITERATION)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_mis;
+    use arbmis_graph::gen;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn produces_mis_on_families() {
+        let mut r = rng(1);
+        let graphs = vec![
+            gen::path(40),
+            gen::cycle(33),
+            gen::complete(9),
+            gen::star(20),
+            gen::random_tree_prufer(250, &mut r),
+            gen::gnp(150, 0.08, &mut r),
+            gen::apollonian(150, &mut r),
+            arbmis_graph::Graph::empty(7),
+        ];
+        for g in graphs {
+            for seed in 0..3 {
+                let run = run(&g, seed);
+                assert!(check_mis(&g, &run.in_mis).is_ok(), "failed on {g} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r = rng(2);
+        let g = gen::gnp(100, 0.1, &mut r);
+        assert_eq!(run(&g, 4), run(&g, 4));
+    }
+
+    #[test]
+    fn fast_on_bounded_degree() {
+        let g = gen::grid(40, 40);
+        let res = run(&g, 7);
+        assert!(res.iterations <= 60, "iterations {}", res.iterations);
+        assert!(check_mis(&g, &res.in_mis).is_ok());
+    }
+
+    #[test]
+    fn desire_exponent_cannot_go_below_one() {
+        // Isolated nodes keep e = 1 (p = 1/2) and join geometrically fast.
+        let g = arbmis_graph::Graph::empty(20);
+        let res = run(&g, 9);
+        assert_eq!(res.size(), 20);
+        assert!(res.iterations <= 30);
+    }
+
+    #[test]
+    fn heavy_tailed_graph() {
+        let mut r = rng(3);
+        let g = gen::barabasi_albert(400, 3, &mut r);
+        let res = run(&g, 2);
+        assert!(check_mis(&g, &res.in_mis).is_ok());
+    }
+}

@@ -1,0 +1,84 @@
+//! The paper's Invariant, checkable.
+//!
+//! > **Invariant.** At the end of scale `k`, for all `v ∈ VIB`:
+//! > `|{w ∈ Γ_IB(v) : deg_IB(w) > Δ/2^k + α}| ≤ Δ/2^{k+2}`.
+//!
+//! Step 2(b) of Algorithm 1 enforces it *by construction* (violators are
+//! exiled to `B`); the analysis shows violators are rare
+//! (`Pr ≤ 1/Δ^{2p}`, Theorem 3.6). The checker here measures violations
+//! *before* exile, which is exactly the quantity Theorem 3.6 bounds.
+
+use crate::params::ArbParams;
+use arbmis_graph::{ActiveView, NodeId};
+
+/// Number of active neighbors of `v` whose active degree exceeds the
+/// scale-`k` high-degree threshold.
+pub fn high_degree_neighbor_count(view: &ActiveView<'_>, params: &ArbParams, k: u32, v: NodeId) -> usize {
+    let threshold = params.high_degree_threshold(k);
+    view.active_neighbors(v)
+        .filter(|&w| view.active_degree(w) as f64 > threshold)
+        .count()
+}
+
+/// Whether active node `v` satisfies the Invariant at scale `k`.
+pub fn node_satisfies_invariant(
+    view: &ActiveView<'_>,
+    params: &ArbParams,
+    k: u32,
+    v: NodeId,
+) -> bool {
+    high_degree_neighbor_count(view, params, k, v) as f64 <= params.bad_threshold(k)
+}
+
+/// All active nodes violating the Invariant at scale `k` — the nodes step
+/// 2(b) would mark bad.
+pub fn invariant_violators(view: &ActiveView<'_>, params: &ArbParams, k: u32) -> Vec<NodeId> {
+    view.active_nodes()
+        .filter(|&v| !node_satisfies_invariant(view, params, k, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamMode;
+    use arbmis_graph::gen;
+
+    #[test]
+    fn clean_low_degree_graph_has_no_violators() {
+        let g = gen::grid(10, 10); // Δ = 4
+        let params = ArbParams::new(2, g.max_degree(), ParamMode::default());
+        let view = ActiveView::new(&g);
+        // At scale 1 the high-degree threshold is Δ/2 + α = 4: no node
+        // exceeds it, so nobody has high-degree neighbors.
+        assert!(invariant_violators(&view, &params, 1).is_empty());
+    }
+
+    #[test]
+    fn star_hub_makes_leaves_violate_at_deep_scales() {
+        // Star K_{1,64}: Δ = 64. At scale k the hub (degree 64) is high
+        // degree (64 > 64/2^k + 1 for k ≥ 1); a leaf has exactly 1
+        // high-degree neighbor, and the bad threshold Δ/2^{k+2} drops
+        // below 1 at k = 5. So at k = 5 leaves still satisfy (1 > 1 is
+        // false... 1 ≤ 1), at k = 6 threshold is 0.25 and leaves violate.
+        let g = gen::star(65);
+        let params = ArbParams::new(1, 64, ParamMode::default());
+        let view = ActiveView::new(&g);
+        assert_eq!(high_degree_neighbor_count(&view, &params, 1, 1), 1);
+        assert!(node_satisfies_invariant(&view, &params, 4, 1)); // 1 ≤ 1
+        assert!(!node_satisfies_invariant(&view, &params, 6, 1)); // 1 > 0.25
+        let violators = invariant_violators(&view, &params, 6);
+        assert_eq!(violators.len(), 64); // every leaf; hub has 0 high-degree nbrs
+        assert!(!violators.contains(&0));
+    }
+
+    #[test]
+    fn deactivation_lowers_counts() {
+        let g = gen::star(65);
+        let params = ArbParams::new(1, 64, ParamMode::default());
+        let mut view = ActiveView::new(&g);
+        // Deactivate the hub: nobody has any active high-degree neighbor.
+        view.deactivate(0);
+        assert!(invariant_violators(&view, &params, 6).is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Common result types for MIS executions.
+
+use arbmis_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one MIS algorithm execution.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MisRun {
+    /// Membership mask: `in_mis[v]` iff `v` is in the computed set.
+    pub in_mis: Vec<bool>,
+    /// Algorithm-level iterations (e.g. Métivier iterations). One
+    /// iteration costs a small constant number of CONGEST rounds.
+    pub iterations: u64,
+    /// CONGEST rounds, counting each iteration's sub-rounds.
+    pub rounds: u64,
+}
+
+impl MisRun {
+    /// Creates a run result.
+    pub fn new(in_mis: Vec<bool>, iterations: u64, rounds: u64) -> Self {
+        MisRun {
+            in_mis,
+            iterations,
+            rounds,
+        }
+    }
+
+    /// Number of nodes in the set.
+    pub fn size(&self) -> usize {
+        self.in_mis.iter().filter(|&&b| b).count()
+    }
+
+    /// The members as a sorted id list.
+    pub fn members(&self) -> Vec<NodeId> {
+        self.in_mis
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &b)| b.then_some(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = MisRun::new(vec![true, false, true], 4, 12);
+        assert_eq!(r.size(), 2);
+        assert_eq!(r.members(), vec![0, 2]);
+        assert_eq!(r.iterations, 4);
+        assert_eq!(r.rounds, 12);
+    }
+
+    #[test]
+    fn empty_run() {
+        let r = MisRun::new(vec![], 0, 0);
+        assert_eq!(r.size(), 0);
+        assert!(r.members().is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Execution traces for the shattering algorithm — the observability layer
+//! every experiment reads.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one scale of `BoundedArbIndependentSet`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScaleTrace {
+    /// Scale index `k` (1-based, as in the paper).
+    pub k: u32,
+    /// Competitiveness cutoff `ρ_k` used this scale.
+    pub rho: f64,
+    /// Inner iterations executed.
+    pub iterations: u64,
+    /// Active nodes at scale start.
+    pub active_start: usize,
+    /// Active nodes after step 2(b).
+    pub active_end: usize,
+    /// Nodes that joined the MIS during the scale.
+    pub joined: usize,
+    /// Nodes eliminated as neighbors of joiners during the scale.
+    pub eliminated: usize,
+    /// Nodes marked bad in step 2(b) (= Invariant violations at scale
+    /// end).
+    pub bad_marked: usize,
+    /// Maximum active degree after the scale.
+    pub max_active_degree_end: usize,
+    /// Per-iteration joiner counts, if iteration recording was enabled.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub joined_per_iteration: Vec<usize>,
+}
+
+impl ScaleTrace {
+    /// Fraction of scale-start active nodes that were decided (joined,
+    /// eliminated, or marked bad) during the scale.
+    pub fn decided_fraction(&self) -> f64 {
+        if self.active_start == 0 {
+            0.0
+        } else {
+            (self.active_start - self.active_end) as f64 / self.active_start as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decided_fraction_math() {
+        let t = ScaleTrace {
+            active_start: 100,
+            active_end: 25,
+            ..ScaleTrace::default()
+        };
+        assert!((t.decided_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(ScaleTrace::default().decided_fraction(), 0.0);
+    }
+}

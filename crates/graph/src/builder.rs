@@ -1,0 +1,184 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::graph::{Graph, NodeId};
+
+/// Builder for [`Graph`].
+///
+/// Collects undirected edges (in any order/direction, duplicates allowed)
+/// and produces a normalized CSR graph. Self loops are rejected eagerly so
+/// the error points at the offending insertion.
+///
+/// # Example
+///
+/// ```
+/// use arbmis_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(2, 1); // duplicate, merged
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder pre-sized for roughly `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of nodes this builder was created with.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edge insertions so far (duplicates counted).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Records the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self loop) or either endpoint is `>= n`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(u != v, "self loop on node {u} rejected");
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        self
+    }
+
+    /// Records the edge `{u, v}` only if both checks pass, returning whether
+    /// it was accepted. Unlike [`add_edge`](Self::add_edge) this never
+    /// panics; it is convenient inside randomized generators that may
+    /// propose loops.
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v || u >= self.n || v >= self.n {
+            return false;
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        true
+    }
+
+    /// Adds all edges from an iterator. Panics under the same conditions as
+    /// [`add_edge`](Self::add_edge).
+    pub fn extend_edges<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: I) -> &mut Self {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Finalizes into a normalized [`Graph`]: sorts, deduplicates, and
+    /// lays out CSR arrays. `O(m log m + n)`.
+    pub fn build(&self) -> Graph {
+        let n = self.n;
+        let mut edges = self.edges.clone();
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + degree[v]);
+        }
+        let mut adj = vec![0 as NodeId; 2 * edges.len()];
+        let mut cursor = offsets[..n].to_vec();
+        for &(u, v) in &edges {
+            adj[cursor[u]] = v;
+            cursor[u] += 1;
+            adj[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Edges were inserted in sorted (u, v) order with u < v, so each
+        // node's list of larger neighbors is sorted, but smaller neighbors
+        // interleave; sort each slice to restore the CSR invariant.
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph::from_csr_unchecked(offsets, adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_csr() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(4, 0).add_edge(0, 2).add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 4]);
+    }
+
+    #[test]
+    fn dedups_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        assert_eq!(b.pending_edges(), 2);
+        assert_eq!(b.build().m(), 1);
+    }
+
+    #[test]
+    fn try_add_edge_filters() {
+        let mut b = GraphBuilder::new(3);
+        assert!(!b.try_add_edge(1, 1));
+        assert!(!b.try_add_edge(0, 3));
+        assert!(b.try_add_edge(0, 2));
+        assert_eq!(b.build().m(), 1);
+    }
+
+    #[test]
+    fn extend_edges_works() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(b.build().m(), 3);
+    }
+
+    #[test]
+    fn build_is_repeatable() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g1 = b.build();
+        b.add_edge(1, 2);
+        let g2 = b.build();
+        assert_eq!(g1.m(), 1);
+        assert_eq!(g2.m(), 2);
+    }
+
+    #[test]
+    fn with_capacity_builder() {
+        let mut b = GraphBuilder::with_capacity(10, 20);
+        assert_eq!(b.n(), 10);
+        b.add_edge(0, 9);
+        assert_eq!(b.build().m(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! k-core decomposition.
+//!
+//! The *coreness* of a node is the largest `k` such that the node survives
+//! in the `k`-core (the maximal subgraph of minimum degree ≥ `k`).
+//! Coreness refines the degeneracy (`max coreness = degeneracy`) and the
+//! suffixes of the smallest-last ordering are exactly the cores — the
+//! experiment harness uses core profiles to characterize workloads, and
+//! the arboricity lower bound maximizes Nash–Williams density over cores.
+
+use crate::graph::{Graph, NodeId};
+use crate::orientation::degeneracy_ordering;
+
+/// The core decomposition of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    /// `coreness[v]` = largest k with `v` in the k-core.
+    pub coreness: Vec<usize>,
+    /// The degeneracy (= max coreness, 0 for empty graphs).
+    pub degeneracy: usize,
+}
+
+impl CoreDecomposition {
+    /// Nodes of the `k`-core.
+    pub fn core(&self, k: usize) -> Vec<NodeId> {
+        (0..self.coreness.len())
+            .filter(|&v| self.coreness[v] >= k)
+            .collect()
+    }
+
+    /// Membership mask of the `k`-core.
+    pub fn core_mask(&self, k: usize) -> Vec<bool> {
+        self.coreness.iter().map(|&c| c >= k).collect()
+    }
+
+    /// `sizes[k]` = number of nodes with coreness ≥ k, for k in
+    /// `0..=degeneracy`.
+    pub fn core_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.degeneracy + 1];
+        for &c in &self.coreness {
+            for s in sizes.iter_mut().take(c + 1) {
+                *s += 1;
+            }
+        }
+        sizes
+    }
+}
+
+/// Computes coreness for every node in `O(n + m)` via the bucketed
+/// peeling order (Batagelj–Zaveršnik / Matula–Beck).
+///
+/// ```
+/// use arbmis_graph::{cores, gen};
+/// let g = gen::complete(5);
+/// let cd = cores::core_decomposition(&g);
+/// assert!(cd.coreness.iter().all(|&c| c == 4));
+/// ```
+pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
+    let ord = degeneracy_ordering(g);
+    let n = g.n();
+    // Peel in smallest-last order; coreness of v = max over the prefix of
+    // the remaining-degree at deletion time (the running maximum is
+    // monotone along the order).
+    let mut removed = vec![false; n];
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut coreness = vec![0usize; n];
+    let mut current = 0usize;
+    for &v in &ord.order {
+        current = current.max(degree[v]);
+        coreness[v] = current;
+        removed[v] = true;
+        for &u in g.neighbors(v) {
+            if !removed[u] {
+                degree[u] -= 1;
+            }
+        }
+    }
+    CoreDecomposition {
+        coreness,
+        degeneracy: ord.degeneracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_coreness_is_one() {
+        let cd = core_decomposition(&gen::path(10));
+        assert!(cd.coreness.iter().all(|&c| c == 1));
+        assert_eq!(cd.degeneracy, 1);
+    }
+
+    #[test]
+    fn cycle_coreness_is_two() {
+        let cd = core_decomposition(&gen::cycle(8));
+        assert!(cd.coreness.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn pendant_on_clique() {
+        // K4 with a pendant node: clique nodes coreness 3, pendant 1.
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
+        );
+        let cd = core_decomposition(&g);
+        assert_eq!(cd.coreness[4], 1);
+        assert!((0..4).all(|v| cd.coreness[v] == 3));
+        assert_eq!(cd.core(3).len(), 4);
+        assert_eq!(cd.core(1).len(), 5);
+        assert_eq!(cd.core_mask(3), vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn coreness_max_equals_degeneracy() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = gen::gnp(300, 0.05, &mut rng);
+        let cd = core_decomposition(&g);
+        assert_eq!(cd.coreness.iter().copied().max().unwrap_or(0), cd.degeneracy);
+    }
+
+    #[test]
+    fn core_property_minimum_degree(){
+        // Every node of the k-core has ≥ k neighbors inside the k-core.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let g = gen::gnp(200, 0.06, &mut rng);
+        let cd = core_decomposition(&g);
+        for k in 1..=cd.degeneracy {
+            let mask = cd.core_mask(k);
+            for v in 0..g.n() {
+                if mask[v] {
+                    let inside = g.neighbors(v).iter().filter(|&&u| mask[u]).count();
+                    assert!(inside >= k, "node {v} has only {inside} in {k}-core");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_sizes_monotone() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = gen::random_ktree(150, 3, &mut rng);
+        let cd = core_decomposition(&g);
+        let sizes = cd.core_sizes();
+        assert_eq!(sizes[0], 150);
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let cd = core_decomposition(&Graph::empty(0));
+        assert_eq!(cd.degeneracy, 0);
+        assert!(cd.core_sizes() == vec![0]);
+    }
+
+    use crate::graph::Graph;
+}

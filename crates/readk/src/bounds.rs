@@ -1,0 +1,209 @@
+//! The Gavinsky–Lovett–Saks–Srinivasan read-k inequalities and classical
+//! comparators.
+//!
+//! All functions return probabilities clamped to `[0, 1]` so callers can
+//! compare them directly against Monte-Carlo estimates.
+
+/// Theorem 1.1 of the paper (GLSS Theorem 1.2): for a read-k family of
+/// indicators with `Pr[Y_i = 1] = p`,
+/// `Pr[Y_1 = ⋯ = Y_n = 1] ≤ p^{n/k}`.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0,1]`, `n == 0`, or `k == 0`.
+///
+/// ```
+/// let b = arbmis_readk::conjunction_bound(0.5, 10, 2);
+/// assert!((b - 0.5f64.powf(5.0)).abs() < 1e-12);
+/// ```
+pub fn conjunction_bound(p: f64, n: usize, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+    assert!(n > 0, "family must be nonempty");
+    assert!(k > 0, "read parameter must be positive");
+    p.powf(n as f64 / k as f64).clamp(0.0, 1.0)
+}
+
+/// Theorem 1.2 form (1): `Pr[Y ≤ (p̄ − ε)·n] ≤ exp(−2ε²·n/k)` where
+/// `p̄` is the average success probability and `Y = Σ Y_i`.
+///
+/// Returns the bound for given `ε`, `n`, `k` (the `p̄` enters only through
+/// the threshold the caller tests, not the bound itself).
+///
+/// # Panics
+///
+/// Panics if `ε < 0`, `n == 0`, or `k == 0`.
+pub fn tail_form1(eps: f64, n: usize, k: usize) -> f64 {
+    assert!(eps >= 0.0, "eps must be nonnegative");
+    assert!(n > 0 && k > 0);
+    (-2.0 * eps * eps * n as f64 / k as f64).exp().clamp(0.0, 1.0)
+}
+
+/// Theorem 1.2 form (2): `Pr[Y ≤ (1 − δ)·E[Y]] ≤ exp(−δ²·E[Y]/(2k))`.
+///
+/// # Panics
+///
+/// Panics if `δ < 0`, `expectation < 0`, or `k == 0`.
+pub fn tail_form2(delta: f64, expectation: f64, k: usize) -> f64 {
+    assert!(delta >= 0.0, "delta must be nonnegative");
+    assert!(expectation >= 0.0, "expectation must be nonnegative");
+    assert!(k > 0);
+    (-delta * delta * expectation / (2.0 * k as f64))
+        .exp()
+        .clamp(0.0, 1.0)
+}
+
+/// Classical multiplicative Chernoff lower tail for *independent*
+/// indicators: `Pr[Y ≤ (1 − δ)·E[Y]] ≤ exp(−δ²·E[Y]/2)`. The k = 1 case of
+/// [`tail_form2`]; included for side-by-side comparison tables.
+pub fn chernoff_lower_tail(delta: f64, expectation: f64) -> f64 {
+    tail_form2(delta, expectation, 1)
+}
+
+/// Azuma–Hoeffding bound treating `Y` as a `k`-Lipschitz function of the
+/// `m` base variables: `Pr[Y ≤ E[Y] − t] ≤ exp(−t²/(2·m·k²))`.
+///
+/// GLSS point out their tail bound beats this when `n ≈ m`; exposing both
+/// lets the experiment table exhibit the gap.
+///
+/// # Panics
+///
+/// Panics if `t < 0`, `m == 0`, or `k == 0`.
+pub fn azuma_lower_tail(t: f64, m: usize, k: usize) -> f64 {
+    assert!(t >= 0.0);
+    assert!(m > 0 && k > 0);
+    (-t * t / (2.0 * m as f64 * (k * k) as f64))
+        .exp()
+        .clamp(0.0, 1.0)
+}
+
+/// The paper's Theorem 3.1 lower bound: with `|M| = m_size`, max active
+/// degree `Δ_M`, and arboricity `α`, some node of `M` beats all its
+/// children with probability at least
+/// `1 − (1 − 1/Δ_M)^{m_size/(2α²)}`.
+pub fn event1_lower_bound(m_size: usize, delta_m: usize, alpha: usize) -> f64 {
+    assert!(delta_m >= 1 && alpha >= 1);
+    let base: f64 = 1.0 - 1.0 / delta_m as f64;
+    let expo = m_size as f64 / (2.0 * (alpha * alpha) as f64);
+    (1.0 - base.powf(expo)).clamp(0.0, 1.0)
+}
+
+/// The paper's Theorem 3.2 failure bound: the probability that *fewer*
+/// than `|M|/2α` nodes of `M` beat all their parents, bounded via the
+/// read-ρ_k tail with `ε = 1/2α`:
+/// `exp(−2·(1/4α²)·|M|/ρ_k)`.
+pub fn event2_failure_bound(m_size: usize, alpha: usize, rho_k: f64) -> f64 {
+    assert!(alpha >= 1 && rho_k > 0.0);
+    let eps = 1.0 / (2.0 * alpha as f64);
+    (-2.0 * eps * eps * m_size as f64 / rho_k)
+        .exp()
+        .clamp(0.0, 1.0)
+}
+
+/// The paper's Theorem 3.3 per-iteration elimination fraction:
+/// `1 / (8α²(32α⁶ + 1))` of `M` is eliminated with probability
+/// `≥ 1 − 1/Δ³`.
+pub fn event3_elimination_fraction(alpha: usize) -> f64 {
+    assert!(alpha >= 1);
+    let a = alpha as f64;
+    1.0 / (8.0 * a * a * (32.0 * a.powi(6) + 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunction_matches_independent_when_k1() {
+        let b = conjunction_bound(0.3, 7, 1);
+        assert!((b - 0.3f64.powi(7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjunction_degrades_with_k() {
+        let b1 = conjunction_bound(0.5, 12, 1);
+        let b3 = conjunction_bound(0.5, 12, 3);
+        let b12 = conjunction_bound(0.5, 12, 12);
+        assert!(b1 < b3 && b3 < b12);
+        assert!((b12 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn conjunction_rejects_bad_p() {
+        let _ = conjunction_bound(1.5, 3, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn conjunction_rejects_zero_k() {
+        let _ = conjunction_bound(0.5, 3, 0);
+    }
+
+    #[test]
+    fn form1_monotone_in_eps_and_k() {
+        assert!(tail_form1(0.2, 100, 2) < tail_form1(0.1, 100, 2));
+        assert!(tail_form1(0.1, 100, 2) < tail_form1(0.1, 100, 8));
+        assert_eq!(tail_form1(0.0, 100, 2), 1.0);
+    }
+
+    #[test]
+    fn form2_vs_chernoff() {
+        let e = 50.0;
+        let d = 0.5;
+        let k = 4;
+        let rk = tail_form2(d, e, k);
+        let ch = chernoff_lower_tail(d, e);
+        assert!(ch < rk, "chernoff {ch} should be tighter than read-k {rk}");
+        assert!((rk - ch.powf(1.0 / k as f64)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn azuma_weaker_than_readk_when_n_eq_m() {
+        // Y = sum of n indicators each reading its own variable among m = n
+        // base variables, read-k with k = 3: read-k exponent −δ²E/2k beats
+        // Azuma's −t²/(2mk²) for t = δE, E = pn.
+        let n = 1000usize;
+        let p = 0.5;
+        let exp_y = p * n as f64;
+        let delta = 0.2;
+        let t = delta * exp_y;
+        let k = 3;
+        let readk = tail_form2(delta, exp_y, k);
+        let azuma = azuma_lower_tail(t, n, k);
+        assert!(readk < azuma, "read-k {readk} vs azuma {azuma}");
+    }
+
+    #[test]
+    fn event1_bound_behaviour() {
+        // Larger M ⇒ better probability; larger α ⇒ worse.
+        let small = event1_lower_bound(10, 20, 2);
+        let big = event1_lower_bound(1000, 20, 2);
+        assert!(big > small);
+        let high_arb = event1_lower_bound(1000, 20, 4);
+        assert!(high_arb < big);
+        assert!((0.0..=1.0).contains(&big));
+    }
+
+    #[test]
+    fn event2_bound_behaviour() {
+        let loose = event2_failure_bound(100, 2, 50.0);
+        let tight = event2_failure_bound(10_000, 2, 50.0);
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn event3_fraction_tiny_but_positive() {
+        let f2 = event3_elimination_fraction(2);
+        assert!(f2 > 0.0 && f2 < 1e-4);
+        assert!(event3_elimination_fraction(3) < f2);
+        // α = 1 (trees): 1/(8·33) = 1/264.
+        let f1 = event3_elimination_fraction(1);
+        assert!((f1 - 1.0 / 264.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_clamped() {
+        assert!(tail_form1(10.0, 10, 1) >= 0.0);
+        assert!(tail_form2(0.0, 5.0, 2) <= 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Exact probabilities for sliding-window read-k families.
+//!
+//! For the calibration family of [`crate::family::sliding_window_family`]
+//! (stride 1: `Y_j = [X_j ≥ t] ∧ … ∧ [X_{j+s−1} ≥ t]` over i.i.d. base
+//! variables with per-coordinate success probability `q`), both the
+//! conjunction probability and the full distribution of `Y = Σ Y_j` are
+//! exactly computable — the windows form a Markov chain over the last
+//! `s − 1` coordinate outcomes. These oracles let the test suite verify
+//! the GLSS bounds and the Monte-Carlo machinery with *zero* sampling
+//! noise.
+
+/// Exact `Pr[Y_1 = ⋯ = Y_n = 1]` for stride-1 windows of span `s`:
+/// all windows are 1 iff every coordinate in their union is a success,
+/// i.e. `q^{n+s−1}`.
+///
+/// # Panics
+///
+/// Panics if `q ∉ [0,1]`, `n == 0`, or `span == 0`.
+pub fn conjunction_probability(n: usize, span: usize, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    assert!(n > 0 && span > 0);
+    q.powi((n + span - 1) as i32)
+}
+
+/// Exact distribution of `Y = Σ_{j=1}^{n} Y_j` for stride-1 windows of
+/// span `s` over `m = n + s − 1` i.i.d. Bernoulli(`q`) coordinates.
+/// Returns `dist` with `dist[y] = Pr[Y = y]`, length `n + 1`.
+///
+/// Dynamic program over the run-length of trailing successes (capped at
+/// `s − 1`; a full window fires when the run reaches `s`). State space
+/// `O(s)`, time `O(m·s·n)`.
+///
+/// # Panics
+///
+/// Panics if `q ∉ [0,1]`, `n == 0`, or `span == 0`.
+#[allow(clippy::needless_range_loop)] // DP tables read clearest with indices
+pub fn count_distribution(n: usize, span: usize, q: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&q));
+    assert!(n > 0 && span > 0);
+    let m = n + span - 1;
+    // dp[run][count]: probability of having trailing success-run `run`
+    // (capped at span, where `span` means "the last window fired and the
+    // run is still alive") after processing i coordinates, with `count`
+    // windows fired so far. Represent run in 0..=span where values ≥ span
+    // collapse: a run of length r ≥ span means every new success fires
+    // another window.
+    let mut dp = vec![vec![0.0f64; n + 1]; span + 1];
+    dp[0][0] = 1.0;
+    for i in 0..m {
+        let mut next = vec![vec![0.0f64; n + 1]; span + 1];
+        for run in 0..=span {
+            for count in 0..=n {
+                let p = dp[run][count];
+                if p == 0.0 {
+                    continue;
+                }
+                // Failure: run resets, no window fires.
+                next[0][count] += p * (1.0 - q);
+                // Success: run extends; if it reaches span (and a window
+                // ends at this coordinate, i.e. i ≥ span − 1), a window
+                // fires.
+                let new_run = (run + 1).min(span);
+                if new_run == span && i + 1 >= span {
+                    // Window j = i + 1 − span fires (0-indexed j < n by
+                    // construction of m).
+                    next[span][(count + 1).min(n)] += p * q;
+                } else {
+                    next[new_run][count] += p * q;
+                }
+            }
+        }
+        dp = next;
+    }
+    let mut dist = vec![0.0f64; n + 1];
+    for run in 0..=span {
+        for (count, &p) in dp[run].iter().enumerate() {
+            dist[count] += p;
+        }
+    }
+    dist
+}
+
+/// Exact `Pr[Y ≤ y]` from [`count_distribution`].
+pub fn lower_tail(n: usize, span: usize, q: f64, y: usize) -> f64 {
+    count_distribution(n, span, q)
+        .into_iter()
+        .take(y.min(n) + 1)
+        .sum()
+}
+
+/// Exact `E[Y] = n·q^s`.
+pub fn expectation(n: usize, span: usize, q: f64) -> f64 {
+    n as f64 * q.powi(span as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::sliding_window_family;
+    use crate::montecarlo::estimate;
+
+    #[test]
+    fn distribution_sums_to_one() {
+        for (n, s, q) in [(5usize, 1usize, 0.3f64), (8, 2, 0.5), (10, 3, 0.7), (4, 4, 0.9)] {
+            let d = count_distribution(n, s, q);
+            let total: f64 = d.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "n={n} s={s} q={q}: {total}");
+            assert!(d.iter().all(|&p| p >= -1e-15));
+        }
+    }
+
+    #[test]
+    fn span_one_is_binomial() {
+        let n = 6;
+        let q: f64 = 0.4;
+        let d = count_distribution(n, 1, q);
+        for (y, &p) in d.iter().enumerate() {
+            let binom = binomial(n, y) * q.powi(y as i32) * (1.0 - q).powi((n - y) as i32);
+            assert!((p - binom).abs() < 1e-12, "y={y}: {p} vs {binom}");
+        }
+    }
+
+    fn binomial(n: usize, k: usize) -> f64 {
+        (1..=k).fold(1.0, |acc, i| acc * (n + 1 - i) as f64 / i as f64)
+    }
+
+    #[test]
+    fn conjunction_matches_distribution_top() {
+        let (n, s, q) = (6usize, 3usize, 0.8f64);
+        let d = count_distribution(n, s, q);
+        let all = conjunction_probability(n, s, q);
+        assert!((d[n] - all).abs() < 1e-12, "{} vs {all}", d[n]);
+    }
+
+    #[test]
+    fn expectation_matches_distribution() {
+        let (n, s, q) = (10usize, 2usize, 0.6f64);
+        let d = count_distribution(n, s, q);
+        let mean: f64 = d.iter().enumerate().map(|(y, &p)| y as f64 * p).sum();
+        assert!((mean - expectation(n, s, q)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact() {
+        // The sampled family and the DP must describe the same law.
+        let (n, s, frac) = (12usize, 3usize, 0.4f64);
+        let q = 1.0 - frac;
+        let fam = sliding_window_family(n, s, 1, frac);
+        let threshold = 2usize;
+        let exact = lower_tail(n, s, q, threshold);
+        let est = estimate(60_000, |t| fam.sample_count(9, t) <= threshold);
+        assert!(
+            est.consistent_with(exact, 4.0),
+            "estimate {} vs exact {exact}",
+            est.p_hat()
+        );
+    }
+
+    #[test]
+    fn glss_bounds_hold_against_exact_law() {
+        // Zero-noise verification of Theorems 1.1 and 1.2 on this family.
+        use crate::bounds;
+        for (n, s, q) in [(10usize, 2usize, 0.5f64), (14, 3, 0.7), (20, 4, 0.8)] {
+            let p = q.powi(s as i32);
+            let exact_all = conjunction_probability(n, s, q);
+            assert!(
+                exact_all <= bounds::conjunction_bound(p, n, s) + 1e-12,
+                "Thm 1.1 violated at n={n} s={s}"
+            );
+            let exp_y = expectation(n, s, q);
+            for delta in [0.3, 0.5, 0.8] {
+                let y = ((1.0 - delta) * exp_y).floor() as usize;
+                let exact_tail = lower_tail(n, s, q, y);
+                let bound = bounds::tail_form2(delta, exp_y, s);
+                assert!(
+                    exact_tail <= bound + 1e-12,
+                    "Thm 1.2 violated at n={n} s={s} δ={delta}: {exact_tail} vs {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_tail_monotone() {
+        let (n, s, q) = (10usize, 2usize, 0.5f64);
+        let mut prev = 0.0;
+        for y in 0..=n {
+            let t = lower_tail(n, s, q, y);
+            assert!(t >= prev - 1e-15);
+            prev = t;
+        }
+        assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_q() {
+        let _ = count_distribution(3, 1, 1.5);
+    }
+}

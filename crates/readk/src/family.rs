@@ -1,0 +1,222 @@
+//! Concrete read-k families: dependency structure + evaluator.
+
+/// A family of boolean functions `Y_j = f_j((X_i)_{i ∈ P_j})` over
+/// independent uniform-`u64` base variables `X_0, …, X_{m−1}`.
+///
+/// The **read parameter** `k` — the maximum number of `P_j` any base
+/// variable appears in — is computed from the declared dependency sets,
+/// never asserted. Evaluators receive the values of their `P_j` in the
+/// declared order.
+///
+/// # Example
+///
+/// ```
+/// use arbmis_readk::ReadKFamily;
+///
+/// // Y_j = [X_j > X_{j+1}] over 5 base variables: each interior variable
+/// // is read twice.
+/// let deps: Vec<Vec<usize>> = (0..4).map(|j| vec![j, j + 1]).collect();
+/// let fam = ReadKFamily::new(5, deps, |_j, vals| vals[0] > vals[1]);
+/// assert_eq!(fam.read_parameter(), 2);
+/// assert_eq!(fam.n(), 4);
+/// ```
+pub struct ReadKFamily<F> {
+    m: usize,
+    deps: Vec<Vec<usize>>,
+    eval: F,
+    read_parameter: usize,
+}
+
+impl<F> ReadKFamily<F>
+where
+    F: Fn(usize, &[u64]) -> bool,
+{
+    /// Creates a family over `m` base variables with dependency sets
+    /// `deps` (one per `Y_j`) and evaluator `eval(j, values_of_P_j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dependency index is `>= m` or any `P_j` is empty.
+    pub fn new(m: usize, deps: Vec<Vec<usize>>, eval: F) -> Self {
+        let mut reads = vec![0usize; m];
+        for (j, p) in deps.iter().enumerate() {
+            assert!(!p.is_empty(), "P_{j} is empty");
+            for &i in p {
+                assert!(i < m, "P_{j} references X_{i} but m={m}");
+                reads[i] += 1;
+            }
+        }
+        let read_parameter = reads.into_iter().max().unwrap_or(0);
+        ReadKFamily {
+            m,
+            deps,
+            eval,
+            read_parameter,
+        }
+    }
+
+    /// Number of base variables `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of derived variables `n`.
+    pub fn n(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// The read parameter `k` (0 for an empty family).
+    pub fn read_parameter(&self) -> usize {
+        self.read_parameter
+    }
+
+    /// The dependency set of `Y_j`.
+    pub fn deps(&self, j: usize) -> &[usize] {
+        &self.deps[j]
+    }
+
+    /// Evaluates every `Y_j` on a base assignment `x` (length `m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != m`.
+    pub fn evaluate(&self, x: &[u64]) -> Vec<bool> {
+        assert_eq!(x.len(), self.m);
+        let mut scratch = Vec::new();
+        self.deps
+            .iter()
+            .enumerate()
+            .map(|(j, p)| {
+                scratch.clear();
+                scratch.extend(p.iter().map(|&i| x[i]));
+                (self.eval)(j, &scratch)
+            })
+            .collect()
+    }
+
+    /// Evaluates and counts how many `Y_j` are 1.
+    pub fn count_ones(&self, x: &[u64]) -> usize {
+        self.evaluate(x).into_iter().filter(|&b| b).count()
+    }
+
+    /// Whether all `Y_j` are 1 under `x` (the conjunction event of
+    /// Theorem 1.1).
+    pub fn all_ones(&self, x: &[u64]) -> bool {
+        assert_eq!(x.len(), self.m);
+        let mut scratch = Vec::new();
+        self.deps.iter().enumerate().all(|(j, p)| {
+            scratch.clear();
+            scratch.extend(p.iter().map(|&i| x[i]));
+            (self.eval)(j, &scratch)
+        })
+    }
+
+    /// Samples a base assignment from `(seed, trial)` via the shared
+    /// counter RNG and evaluates [`count_ones`](Self::count_ones).
+    pub fn sample_count(&self, seed: u64, trial: u64) -> usize {
+        let x = self.sample_base(seed, trial);
+        self.count_ones(&x)
+    }
+
+    /// Samples a base assignment from `(seed, trial)`.
+    pub fn sample_base(&self, seed: u64, trial: u64) -> Vec<u64> {
+        (0..self.m)
+            .map(|i| arbmis_congest::rng::draw(seed, i, trial, 0xbead))
+            .collect()
+    }
+}
+
+/// A standard synthetic family for calibration: `n` variables over
+/// `m = n·span − (n−1)·overlap`-ish sliding windows... simplified:
+/// `Y_j = [min of its window ≥ threshold]` over windows of `span`
+/// consecutive base variables with stride `stride`. The read parameter is
+/// `⌈span/stride⌉`.
+///
+/// `threshold_frac ∈ (0,1)` sets `Pr[X_i ≥ t] = 1 − threshold_frac` per
+/// coordinate, so `Pr[Y_j = 1] = (1 − threshold_frac)^span`.
+pub fn sliding_window_family(
+    n: usize,
+    span: usize,
+    stride: usize,
+    threshold_frac: f64,
+) -> ReadKFamily<impl Fn(usize, &[u64]) -> bool> {
+    assert!(span >= 1 && stride >= 1);
+    assert!((0.0..1.0).contains(&threshold_frac));
+    let m = (n - 1) * stride + span;
+    let deps: Vec<Vec<usize>> = (0..n)
+        .map(|j| (j * stride..j * stride + span).collect())
+        .collect();
+    let threshold = (threshold_frac * u64::MAX as f64) as u64;
+    ReadKFamily::new(m, deps, move |_j, vals| vals.iter().all(|&v| v >= threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_parameter_computed() {
+        // Three Y's all reading X_0: read-3.
+        let fam = ReadKFamily::new(2, vec![vec![0], vec![0, 1], vec![0]], |_, v| v[0] > 0);
+        assert_eq!(fam.read_parameter(), 3);
+    }
+
+    #[test]
+    fn evaluate_restricts_to_deps() {
+        let fam = ReadKFamily::new(3, vec![vec![2], vec![0, 2]], |j, v| match j {
+            0 => v[0] > 10,
+            _ => v[0] + v[1] > 10,
+        });
+        let y = fam.evaluate(&[0, 999, 20]);
+        assert_eq!(y, vec![true, true]);
+        let y2 = fam.evaluate(&[0, 999, 5]);
+        assert_eq!(y2, vec![false, false]);
+        assert_eq!(fam.count_ones(&[0, 999, 20]), 2);
+        assert!(fam.all_ones(&[0, 999, 20]));
+        assert!(!fam.all_ones(&[0, 999, 5]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_dep() {
+        let _ = ReadKFamily::new(2, vec![vec![5]], |_, _| true);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_dep() {
+        let _ = ReadKFamily::new(2, vec![vec![]], |_, _| true);
+    }
+
+    #[test]
+    fn sliding_window_read_parameter() {
+        let fam = sliding_window_family(10, 4, 2, 0.5);
+        assert_eq!(fam.read_parameter(), 2); // span 4, stride 2
+        let fam2 = sliding_window_family(10, 6, 1, 0.5);
+        assert_eq!(fam2.read_parameter(), 6);
+        let disjoint = sliding_window_family(10, 3, 3, 0.5);
+        assert_eq!(disjoint.read_parameter(), 1);
+    }
+
+    #[test]
+    fn sample_deterministic() {
+        let fam = sliding_window_family(8, 3, 1, 0.3);
+        assert_eq!(fam.sample_count(5, 0), fam.sample_count(5, 0));
+        let x1 = fam.sample_base(5, 0);
+        let x2 = fam.sample_base(5, 1);
+        assert_ne!(x1, x2);
+    }
+
+    #[test]
+    fn sliding_window_marginals() {
+        // Pr[Y_j = 1] should be ≈ (1 − 0.5)^2 = 0.25.
+        let fam = sliding_window_family(50, 2, 2, 0.5);
+        let trials = 2000u64;
+        let mut total = 0usize;
+        for t in 0..trials {
+            total += fam.sample_count(9, t);
+        }
+        let per_y = total as f64 / (trials as f64 * fam.n() as f64);
+        assert!((per_y - 0.25).abs() < 0.02, "marginal {per_y}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 1, executable: Monte-Carlo estimates of the paper's three
+//! probabilistic events against their read-k theoretical bounds.
+//!
+//! ```sh
+//! cargo run --release --example readk_tail_bounds
+//! ```
+
+use arbmis::graph::{gen, orientation::Orientation};
+use arbmis::readk::events::EventScenario;
+use arbmis::readk::{bounds, estimate, family};
+use rand::SeedableRng;
+
+const TRIALS: u64 = 20_000;
+
+fn main() {
+    synthetic_conjunction();
+    synthetic_tail();
+    paper_events();
+}
+
+/// Theorem 1.1 on a synthetic sliding-window family.
+fn synthetic_conjunction() {
+    println!("== Theorem 1.1: read-k conjunction bound p^(n/k) ==");
+    println!(
+        "{:>4} {:>4} {:>8} {:>12} {:>12}",
+        "n", "k", "p", "measured", "bound"
+    );
+    for (n, span, stride) in [(8usize, 1usize, 1usize), (8, 2, 1), (8, 3, 1)] {
+        // Y_j = [all window values ≥ t]; windows overlap by span−stride.
+        let frac = 0.2; // Pr[X ≥ t] = 0.8 per coordinate
+        let fam = family::sliding_window_family(n, span, stride, frac);
+        let p = (1.0 - frac).powi(span as i32);
+        let k = fam.read_parameter();
+        let est = estimate(TRIALS, |t| {
+            let x = fam.sample_base(1, t);
+            fam.all_ones(&x)
+        });
+        let bound = bounds::conjunction_bound(p, n, k);
+        println!(
+            "{:>4} {:>4} {:>8.4} {:>12.5} {:>12.5}{}",
+            n,
+            k,
+            p,
+            est.p_hat(),
+            bound,
+            if est.p_hat() <= bound + 0.01 { "  ✓" } else { "  ✗ VIOLATION" }
+        );
+    }
+    println!();
+}
+
+/// Theorem 1.2 form (2) vs Chernoff vs Azuma on the same family.
+fn synthetic_tail() {
+    println!("== Theorem 1.2 (form 2) vs comparators, δ = 0.5 ==");
+    println!(
+        "{:>4} {:>4} {:>10} {:>12} {:>12} {:>12}",
+        "n", "k", "measured", "read-k", "chernoff", "azuma"
+    );
+    for (n, span) in [(200usize, 1usize), (200, 2), (200, 4)] {
+        let fam = family::sliding_window_family(n, span, 1, 0.5);
+        let p = 0.5f64.powi(span as i32);
+        let exp_y = p * n as f64;
+        let delta = 0.5;
+        let threshold = ((1.0 - delta) * exp_y) as usize;
+        let k = fam.read_parameter();
+        let est = estimate(TRIALS, |t| fam.sample_count(2, t) <= threshold);
+        println!(
+            "{:>4} {:>4} {:>10.5} {:>12.5} {:>12.5} {:>12.5}",
+            n,
+            k,
+            est.p_hat(),
+            bounds::tail_form2(delta, exp_y, k),
+            bounds::chernoff_lower_tail(delta, exp_y),
+            bounds::azuma_lower_tail(delta * exp_y, fam.m(), k),
+        );
+    }
+    println!("(read-k must upper-bound 'measured'; Chernoff need not — the family is dependent)\n");
+}
+
+/// Events (1)–(3) on bounded-arboricity graphs (Figure 1 A/B/C).
+fn paper_events() {
+    println!("== Paper events on forest-union graphs (Figure 1) ==");
+    println!(
+        "{:>3} {:>6} {:>8} {:>10} {:>12} {:>12}",
+        "α", "|M|", "k_meas", "event", "measured", "paper bound"
+    );
+    for alpha in [1usize, 2, 3] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(alpha as u64);
+        let g = gen::forest_union(4_000, alpha, &mut rng);
+        let o = Orientation::by_degeneracy(&g);
+        let m: Vec<usize> = (0..400).collect();
+        let sc = EventScenario::new(&g, &o, m.clone(), None);
+
+        // Event 1: some node of M beats all children.
+        let e1 = estimate(TRIALS, |t| sc.event1_holds(&sc.sample_priorities(10, t)));
+        let delta_m = sc.max_degree_of_m().max(1);
+        let b1 = bounds::event1_lower_bound(m.len(), delta_m, alpha);
+        println!(
+            "{:>3} {:>6} {:>8} {:>10} {:>12.5} {:>12.5}  (lower bound)",
+            alpha,
+            m.len(),
+            sc.event1_read_parameter(),
+            "E1",
+            e1.p_hat(),
+            b1
+        );
+
+        // Event 2: > |M|/2α nodes beat their parents.
+        let e2 = estimate(TRIALS, |t| {
+            sc.event2_holds(&sc.sample_priorities(11, t), alpha)
+        });
+        println!(
+            "{:>3} {:>6} {:>8} {:>10} {:>12.5} {:>12}  (should be ~1)",
+            alpha,
+            m.len(),
+            sc.event2_read_parameter(),
+            "E2",
+            e2.p_hat(),
+            "-"
+        );
+
+        // Event 3: ≥ |M|/(8α²(32α⁶+1)) of M eliminated in one iteration.
+        let e3 = estimate(TRIALS, |t| {
+            sc.event3_holds(&sc.sample_priorities(12, t), alpha)
+        });
+        println!(
+            "{:>3} {:>6} {:>8} {:>10} {:>12.5} {:>12.6}  (required fraction)",
+            alpha,
+            m.len(),
+            sc.event3_read_parameter(),
+            "E3",
+            e3.p_hat(),
+            bounds::event3_elimination_fraction(alpha)
+        );
+    }
+}

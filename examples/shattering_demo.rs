@@ -1,0 +1,83 @@
+//! Shattering in action.
+//!
+//! Part 1 watches the Métivier inner loop (the engine of Algorithm 1)
+//! shatter a 30 000-node heavy-tailed graph: after each iteration the
+//! still-active set splits into many small components — exactly the
+//! structure the paper's analysis (and all shattering-based MIS
+//! algorithms) exploit.
+//!
+//! Part 2 runs `BoundedArbIndependentSet` itself and prints the per-scale
+//! trace: joiners, eliminations, bad markings, degree decay.
+//!
+//! ```sh
+//! cargo run --release --example shattering_demo
+//! ```
+
+use arbmis::core::bounded_arb::{bounded_arb_independent_set, BoundedArbConfig};
+use arbmis::core::metivier;
+use arbmis::graph::{gen, traversal};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let n = 30_000;
+    let alpha = 3;
+    let g = gen::barabasi_albert(n, alpha, &mut rng);
+    println!(
+        "graph: {g} (Barabási–Albert m = {alpha}, heavy-tailed, Δ = {})\n",
+        g.max_degree()
+    );
+
+    println!("== Part 1: the active set shatters under Métivier iterations ==");
+    println!(
+        "{:>5} {:>9} {:>12} {:>14} {:>12}",
+        "iter", "active", "components", "largest comp", "median comp"
+    );
+    for it in 0..5 {
+        let p = metivier::run_partial(&g, 1, it);
+        let mut sizes = traversal::subset_component_sizes(&g, &p.active);
+        sizes.sort_unstable();
+        let active: usize = sizes.iter().sum();
+        let largest = sizes.last().copied().unwrap_or(0);
+        let median = if sizes.is_empty() { 0 } else { sizes[sizes.len() / 2] };
+        println!(
+            "{:>5} {:>9} {:>12} {:>14} {:>12}",
+            it,
+            active,
+            sizes.len(),
+            largest,
+            median
+        );
+        if active == 0 {
+            break;
+        }
+    }
+    println!("(one giant component collapses into micro-components within 2-3 iterations)\n");
+
+    println!("== Part 2: BoundedArbIndependentSet (Algorithm 1) trace ==");
+    let cfg = BoundedArbConfig::new(alpha, 5);
+    let out = bounded_arb_independent_set(&g, &cfg);
+    println!(
+        "schedule: Θ = {} scales × Λ = {} iterations (mode {:?})",
+        out.params.theta, out.params.lambda, out.params.mode
+    );
+    println!(
+        "{:>5} {:>12} {:>10} {:>9} {:>11} {:>7} {:>10} {:>8}",
+        "scale", "ρ_k", "active→", "joined", "eliminated", "bad", "active←", "maxdeg"
+    );
+    for t in &out.trace {
+        println!(
+            "{:>5} {:>12.1} {:>10} {:>9} {:>11} {:>7} {:>10} {:>8}",
+            t.k, t.rho, t.active_start, t.joined, t.eliminated, t.bad_marked, t.active_end,
+            t.max_active_degree_end
+        );
+    }
+    println!(
+        "\nI = {} nodes, B = {} nodes, residual VIB = {} nodes ({} CONGEST rounds)",
+        out.mis_size(),
+        out.bad_size(),
+        out.active_size(),
+        out.rounds
+    );
+    println!("Empty B is the expected outcome: Theorem 3.6 bounds Pr[v ∈ B] by Δ^(-2p).");
+}

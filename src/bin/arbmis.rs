@@ -1,0 +1,199 @@
+//! `arbmis` — command-line driver for the library.
+//!
+//! ```sh
+//! # Generate a workload and compute an MIS with a chosen algorithm:
+//! arbmis run --family apollonian --n 10000 --algo arbmis --alpha 3 --seed 7
+//!
+//! # Or load a graph from an edge-list file:
+//! arbmis run --input graph.txt --algo metivier
+//!
+//! # Inspect a graph:
+//! arbmis stats --family ba3 --n 5000
+//!
+//! # Generate and save a workload:
+//! arbmis gen --family ktree2 --n 1000 --output k.txt
+//! ```
+
+use arbmis::core::{arb_mis, check_mis, ghaffari, greedy, luby, metivier, tree_mis, ArbMisConfig};
+use arbmis::graph::gen::{GraphFamily, GraphSpec};
+use arbmis::graph::stats::GraphStats;
+use arbmis::graph::{arboricity, io, Graph};
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  arbmis run   (--input FILE | --family NAME --n N) --algo ALGO [--alpha A] [--seed S]
+  arbmis stats (--input FILE | --family NAME --n N) [--seed S]
+  arbmis gen   --family NAME --n N --output FILE [--seed S]
+
+algorithms: greedy luby metivier ghaffari treemis arbmis
+families:   tree caterpillar4 forests2 forests3 ktree2 ktree3 apollonian
+            sp ba2 ba3 plc3 gnp8 grid geometric cliquering6"
+    );
+    ExitCode::from(2)
+}
+
+fn family_by_name(name: &str) -> Option<GraphFamily> {
+    Some(match name {
+        "tree" => GraphFamily::RandomTree,
+        "caterpillar4" => GraphFamily::Caterpillar { legs: 4 },
+        "forests2" => GraphFamily::ForestUnion { alpha: 2 },
+        "forests3" => GraphFamily::ForestUnion { alpha: 3 },
+        "ktree2" => GraphFamily::KTree { k: 2 },
+        "ktree3" => GraphFamily::KTree { k: 3 },
+        "apollonian" => GraphFamily::Apollonian,
+        "sp" => GraphFamily::SeriesParallel,
+        "ba2" => GraphFamily::BarabasiAlbert { m: 2 },
+        "ba3" => GraphFamily::BarabasiAlbert { m: 3 },
+        "plc3" => GraphFamily::PowerlawCluster { m: 3, p: 0.6 },
+        "gnp8" => GraphFamily::GnpAvgDegree { d: 8.0 },
+        "grid" => GraphFamily::Grid,
+        "geometric" => GraphFamily::Geometric { radius: 0.02 },
+        "cliquering6" => GraphFamily::RingOfCliques { k: 6 },
+        _ => return None,
+    })
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a.strip_prefix("--")?;
+        let value = it.next()?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Some(map)
+}
+
+fn load_graph(flags: &HashMap<String, String>) -> Result<Graph, String> {
+    if let Some(path) = flags.get("input") {
+        return io::read_file(path).map_err(|e| format!("reading {path}: {e}"));
+    }
+    let family = flags
+        .get("family")
+        .ok_or("need --input FILE or --family NAME")?;
+    let fam = family_by_name(family).ok_or_else(|| format!("unknown family {family:?}"))?;
+    let n: usize = flags
+        .get("n")
+        .ok_or("need --n with --family")?
+        .parse()
+        .map_err(|_| "bad --n".to_string())?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Ok(GraphSpec::new(fam, n).generate(&mut rng))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(flags) = parse_flags(rest) else {
+        return usage();
+    };
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    match cmd.as_str() {
+        "run" => {
+            let g = match load_graph(&flags) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let algo = flags.get("algo").map(String::as_str).unwrap_or("arbmis");
+            let alpha: usize = flags
+                .get("alpha")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| arboricity::degeneracy(&g).max(1));
+            if alpha == 0 {
+                eprintln!("error: --alpha must be >= 1");
+                return ExitCode::FAILURE;
+            }
+            if algo == "treemis" && !arbmis::graph::traversal::is_forest(&g) {
+                eprintln!("error: treemis requires a forest; this graph has a cycle (use --algo arbmis)");
+                return ExitCode::FAILURE;
+            }
+            let (in_mis, rounds) = match algo {
+                "greedy" => (greedy::greedy_mis(&g), 0),
+                "luby" => {
+                    let r = luby::run(&g, seed);
+                    (r.in_mis, r.rounds)
+                }
+                "metivier" => {
+                    let r = metivier::run(&g, seed);
+                    (r.in_mis, r.rounds)
+                }
+                "ghaffari" => {
+                    let r = ghaffari::run(&g, seed);
+                    (r.in_mis, r.rounds)
+                }
+                "treemis" => {
+                    let r = tree_mis::tree_mis(&g, seed);
+                    (r.in_mis, r.rounds)
+                }
+                "arbmis" => {
+                    let r = arb_mis(&g, &ArbMisConfig::new(alpha, seed));
+                    println!("phases: {:?}", r.phases);
+                    (r.in_mis, r.rounds)
+                }
+                other => {
+                    eprintln!("unknown algorithm {other:?}");
+                    return usage();
+                }
+            };
+            match check_mis(&g, &in_mis) {
+                Ok(()) => {
+                    let size = in_mis.iter().filter(|&&b| b).count();
+                    println!(
+                        "{algo} on {g}: MIS size {size}, {rounds} CONGEST rounds, verified ✓"
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("OUTPUT IS NOT AN MIS: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "stats" => {
+            let g = match load_graph(&flags) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{}", GraphStats::compute(&g));
+            ExitCode::SUCCESS
+        }
+        "gen" => {
+            let g = match load_graph(&flags) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(out) = flags.get("output") else {
+                eprintln!("gen needs --output FILE");
+                return usage();
+            };
+            if let Err(e) = io::write_file(&g, out) {
+                eprintln!("writing {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {g} to {out}");
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

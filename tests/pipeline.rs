@@ -1,0 +1,107 @@
+//! End-to-end integration: the full ArbMIS pipeline across every workload
+//! family, seeds, and parameter modes.
+
+use arbmis::core::{arb_mis, check_mis, ArbMisConfig};
+use arbmis::core::params::ParamMode;
+use arbmis::graph::gen::{GraphFamily, GraphSpec};
+use rand::SeedableRng;
+
+fn families() -> Vec<(GraphFamily, usize)> {
+    vec![
+        (GraphFamily::Path, 1),
+        (GraphFamily::Cycle, 2),
+        (GraphFamily::RandomTree, 1),
+        (GraphFamily::Caterpillar { legs: 3 }, 1),
+        (GraphFamily::ForestUnion { alpha: 2 }, 2),
+        (GraphFamily::ForestUnion { alpha: 4 }, 4),
+        (GraphFamily::KTree { k: 2 }, 2),
+        (GraphFamily::KTree { k: 4 }, 4),
+        (GraphFamily::Apollonian, 3),
+        (GraphFamily::BarabasiAlbert { m: 3 }, 3),
+        (GraphFamily::GnpAvgDegree { d: 6.0 }, 5),
+        (GraphFamily::Grid, 2),
+        (GraphFamily::Hypercube, 6),
+    ]
+}
+
+#[test]
+fn arbmis_is_valid_on_every_family() {
+    for (fam, alpha) in families() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let g = GraphSpec::new(fam, 1_500).generate(&mut rng);
+        for seed in 0..3 {
+            let out = arb_mis(&g, &ArbMisConfig::new(alpha, seed));
+            check_mis(&g, &out.in_mis)
+                .unwrap_or_else(|e| panic!("{fam} seed {seed}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn arbmis_round_counts_are_reported_consistently() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let g = GraphSpec::new(GraphFamily::Apollonian, 2_000).generate(&mut rng);
+    let out = arb_mis(&g, &ArbMisConfig::new(3, 1));
+    assert_eq!(out.rounds, out.phases.total());
+    assert_eq!(out.phases.shattering, out.shatter.rounds);
+    // Scheduled shattering rounds are a pure function of the parameters.
+    let expected = out.shatter.iterations * 3 + u64::from(out.shatter.params.theta) * 2;
+    assert_eq!(out.shatter.rounds, expected);
+}
+
+#[test]
+fn faithful_and_practical_modes_both_valid() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let g = GraphSpec::new(GraphFamily::ForestUnion { alpha: 2 }, 800).generate(&mut rng);
+    for mode in [
+        ParamMode::Faithful { p: 1 },
+        ParamMode::Practical { lambda_scale: 1.0 },
+        ParamMode::Practical { lambda_scale: 0.001 },
+    ] {
+        let cfg = ArbMisConfig {
+            mode,
+            ..ArbMisConfig::new(2, 5)
+        };
+        let out = arb_mis(&g, &cfg);
+        check_mis(&g, &out.in_mis).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+    }
+}
+
+#[test]
+fn alpha_overestimate_is_safe() {
+    // Supplying a too-large arboricity bound must not break correctness
+    // (only the schedule constants change).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let g = GraphSpec::new(GraphFamily::RandomTree, 1_000).generate(&mut rng);
+    for alpha in [1usize, 2, 5] {
+        let out = arb_mis(&g, &ArbMisConfig::new(alpha, 3));
+        assert!(check_mis(&g, &out.in_mis).is_ok(), "alpha {alpha}");
+    }
+}
+
+#[test]
+fn disconnected_graphs_handled() {
+    use arbmis::graph::GraphBuilder;
+    // Three disjoint triangles plus isolated nodes.
+    let mut b = GraphBuilder::new(12);
+    for base in [0usize, 3, 6] {
+        b.add_edge(base, base + 1);
+        b.add_edge(base + 1, base + 2);
+        b.add_edge(base + 2, base);
+    }
+    let g = b.build();
+    let out = arb_mis(&g, &ArbMisConfig::new(2, 1));
+    check_mis(&g, &out.in_mis).unwrap();
+    // Exactly one node per triangle plus all isolated nodes.
+    assert_eq!(out.mis_size(), 3 + 3);
+}
+
+#[test]
+fn stress_many_seeds_one_graph() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let g = GraphSpec::new(GraphFamily::BarabasiAlbert { m: 2 }, 3_000).generate(&mut rng);
+    for seed in 0..20 {
+        let out = arb_mis(&g, &ArbMisConfig::new(2, seed));
+        check_mis(&g, &out.in_mis).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

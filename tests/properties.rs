@@ -1,0 +1,147 @@
+//! Property-based integration tests (proptest): algorithm correctness and
+//! substrate invariants over arbitrary random graphs.
+
+use arbmis::core::{arb_mis, check_mis, ghaffari, greedy, luby, metivier, ArbMisConfig};
+use arbmis::graph::orientation::{degeneracy_ordering, Orientation};
+use arbmis::graph::{arboricity, forest, gen, props, traversal, Graph};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary simple graph from a random edge list.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m)
+            .prop_map(move |pairs| {
+                let mut b = arbmis::graph::GraphBuilder::new(n);
+                for (u, v) in pairs {
+                    b.try_add_edge(u, v);
+                }
+                b.build()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_graphs_are_well_formed(g in arb_graph(60, 200)) {
+        prop_assert!(props::check_well_formed(&g).is_ok());
+    }
+
+    #[test]
+    fn greedy_produces_mis(g in arb_graph(60, 200)) {
+        prop_assert!(check_mis(&g, &greedy::greedy_mis(&g)).is_ok());
+    }
+
+    #[test]
+    fn metivier_produces_mis(g in arb_graph(60, 200), seed in 0u64..1000) {
+        prop_assert!(check_mis(&g, &metivier::run(&g, seed).in_mis).is_ok());
+    }
+
+    #[test]
+    fn luby_produces_mis(g in arb_graph(50, 150), seed in 0u64..1000) {
+        prop_assert!(check_mis(&g, &luby::run(&g, seed).in_mis).is_ok());
+    }
+
+    #[test]
+    fn ghaffari_produces_mis(g in arb_graph(40, 120), seed in 0u64..1000) {
+        prop_assert!(check_mis(&g, &ghaffari::run(&g, seed).in_mis).is_ok());
+    }
+
+    #[test]
+    fn arbmis_produces_mis(g in arb_graph(40, 100), seed in 0u64..1000) {
+        // Use a certified arboricity upper bound (degeneracy).
+        let alpha = arboricity::degeneracy(&g).max(1);
+        let out = arb_mis(&g, &ArbMisConfig::new(alpha, seed));
+        prop_assert!(check_mis(&g, &out.in_mis).is_ok());
+    }
+
+    #[test]
+    fn degeneracy_ordering_invariants(g in arb_graph(60, 250)) {
+        let ord = degeneracy_ordering(&g);
+        // Every node has ≤ degeneracy later-ordered neighbors.
+        for (i, &v) in ord.order.iter().enumerate() {
+            let later = g.neighbors(v).iter().filter(|&&u| ord.position[u] > i).count();
+            prop_assert!(later <= ord.degeneracy);
+        }
+        // Degeneracy is at least half the max density bound.
+        prop_assert!(ord.degeneracy >= arboricity::density_lower_bound(&g).saturating_sub(1) / 2);
+    }
+
+    #[test]
+    fn orientation_invariants(g in arb_graph(60, 250)) {
+        let o = Orientation::by_degeneracy(&g);
+        prop_assert!(o.covers(&g));
+        prop_assert!(o.is_acyclic());
+        prop_assert!(o.max_out_degree() <= degeneracy_ordering(&g).degeneracy);
+        // Parent/child views are mutually consistent.
+        for v in g.nodes() {
+            for &p in o.parents(v) {
+                prop_assert!(o.children(p).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn forest_decomposition_invariants(g in arb_graph(50, 200)) {
+        let forests = forest::forests_by_degeneracy(&g);
+        let total: usize = forests.iter().map(|f| f.edge_count()).sum();
+        prop_assert_eq!(total, g.m());
+        for f in &forests {
+            prop_assert!(f.is_acyclic());
+            prop_assert!(traversal::is_forest(&f.to_graph()));
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes(g in arb_graph(60, 200)) {
+        let comps = traversal::connected_components(&g);
+        let sizes = comps.sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), g.n());
+        // Adjacent nodes always share a component.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(comps.label(u), comps.label(v));
+        }
+    }
+
+    #[test]
+    fn two_mis_runs_may_differ_but_both_valid(g in arb_graph(40, 120)) {
+        let a = metivier::run(&g, 1).in_mis;
+        let b = metivier::run(&g, 2).in_mis;
+        prop_assert!(check_mis(&g, &a).is_ok());
+        prop_assert!(check_mis(&g, &b).is_ok());
+    }
+
+    #[test]
+    fn induced_subgraph_roundtrip(g in arb_graph(50, 150), mask_seed in 0u64..100) {
+        let mask: Vec<bool> = (0..g.n())
+            .map(|v| arbmis::congest::rng::draw_bool(mask_seed, v, 0, 0, 0.6))
+            .collect();
+        let sub = arbmis::graph::InducedSubgraph::new(&g, &mask);
+        // Every subgraph edge maps to a parent edge and vice versa.
+        for (a, b) in sub.graph().edges() {
+            prop_assert!(g.has_edge(sub.to_parent(a), sub.to_parent(b)));
+        }
+        let expected: usize = g
+            .edges()
+            .filter(|&(u, v)| mask[u] && mask[v])
+            .count();
+        prop_assert_eq!(sub.graph().m(), expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cole_vishkin_colors_random_forests(n in 2usize..300, seed in 0u64..50) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = gen::random_forest(n, 0.8, &mut rng);
+        for f in forest::forests_by_degeneracy(&g) {
+            let c = arbmis::core::cole_vishkin::cv_color_to_three(&f);
+            prop_assert!(arbmis::core::cole_vishkin::is_proper_forest_coloring(&f, &c.colors));
+            prop_assert!(c.colors.iter().all(|&x| x < 3));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Statistical integration tests of the paper's theorems: Monte-Carlo
+//! estimates must respect every proven bound (with CI slack).
+
+use arbmis::graph::{gen, orientation::Orientation};
+use arbmis::readk::events::EventScenario;
+use arbmis::readk::family::sliding_window_family;
+use arbmis::readk::{bounds, estimate};
+use rand::SeedableRng;
+
+const TRIALS: u64 = 8_000;
+
+#[test]
+fn theorem_1_1_conjunction_bound_holds() {
+    for (n, span) in [(6usize, 1usize), (8, 2), (10, 3), (12, 4)] {
+        let fam = sliding_window_family(n, span, 1, 0.25);
+        let p = 0.75f64.powi(span as i32);
+        let k = fam.read_parameter();
+        assert_eq!(k, span);
+        let est = estimate(TRIALS, |t| fam.all_ones(&fam.sample_base(100, t)));
+        let bound = bounds::conjunction_bound(p, n, k);
+        let (lo, _) = est.wilson_ci(3.29); // 99.9%
+        assert!(
+            lo <= bound,
+            "n={n} span={span}: lower CI {lo} exceeds bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn theorem_1_2_tail_bound_holds() {
+    for (n, span, delta) in [(150usize, 2usize, 0.5f64), (150, 3, 0.4), (300, 4, 0.6)] {
+        let fam = sliding_window_family(n, span, 1, 0.5);
+        let p = 0.5f64.powi(span as i32);
+        let exp_y = p * n as f64;
+        let threshold = ((1.0 - delta) * exp_y).floor() as usize;
+        let est = estimate(TRIALS, |t| fam.sample_count(200, t) <= threshold);
+        let bound = bounds::tail_form2(delta, exp_y, fam.read_parameter());
+        let (lo, _) = est.wilson_ci(3.29);
+        assert!(
+            lo <= bound,
+            "n={n} span={span} δ={delta}: lower CI {lo} exceeds bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn theorem_3_1_event1_lower_bound_holds() {
+    for alpha in 1..=3usize {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(alpha as u64);
+        let g = gen::forest_union(3_000, alpha, &mut rng);
+        let o = Orientation::by_degeneracy(&g);
+        let m: Vec<usize> = (0..200).collect();
+        let sc = EventScenario::new(&g, &o, m.clone(), None);
+        let est = estimate(TRIALS, |t| sc.event1_holds(&sc.sample_priorities(300, t)));
+        let lower = bounds::event1_lower_bound(m.len(), sc.max_degree_of_m().max(1), alpha);
+        let (_, hi) = est.wilson_ci(3.29);
+        assert!(
+            hi >= lower,
+            "α={alpha}: upper CI {hi} below theorem lower bound {lower}"
+        );
+    }
+}
+
+#[test]
+fn theorem_3_2_event2_failure_bound_holds() {
+    for alpha in 1..=3usize {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10 + alpha as u64);
+        let g = gen::forest_union(3_000, alpha, &mut rng);
+        let o = Orientation::by_degeneracy(&g);
+        let rho = 4.0 * (g.max_degree() as f64) * (g.max_degree() as f64).ln();
+        let m: Vec<usize> = (0..1_000).collect();
+        let sc = EventScenario::new(&g, &o, m.clone(), Some(rho as usize));
+        let est = estimate(TRIALS, |t| {
+            sc.event2_holds(&sc.sample_priorities(301, t), alpha)
+        });
+        let failure = 1.0 - est.p_hat();
+        let bound = bounds::event2_failure_bound(m.len(), alpha, rho);
+        // Allow CI slack on top of the theorem bound.
+        assert!(
+            failure <= bound + 0.02,
+            "α={alpha}: failure {failure} vs bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn theorem_3_3_event3_succeeds_overwhelmingly() {
+    for alpha in 1..=3usize {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20 + alpha as u64);
+        let g = gen::forest_union(3_000, alpha, &mut rng);
+        let o = Orientation::by_degeneracy(&g);
+        let m: Vec<usize> = (0..300).collect();
+        let sc = EventScenario::new(&g, &o, m, None);
+        let est = estimate(TRIALS, |t| {
+            sc.event3_holds(&sc.sample_priorities(302, t), alpha)
+        });
+        // Theorem 3.3 claims probability ≥ 1 − 1/Δ³; with moderate Δ the
+        // measured frequency should be essentially 1.
+        assert!(est.p_hat() > 0.99, "α={alpha}: {}", est.p_hat());
+    }
+}
+
+#[test]
+fn read_parameters_respect_structural_caps() {
+    for alpha in 1..=4usize {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(30 + alpha as u64);
+        let g = gen::forest_union(2_000, alpha, &mut rng);
+        let o = Orientation::by_degeneracy(&g);
+        let d = o.max_out_degree();
+        let sc = EventScenario::new(&g, &o, (0..500).collect(), None);
+        assert!(sc.event1_read_parameter() <= d + 1);
+        assert!(sc.event3_read_parameter() <= d * (d + 1) + 1);
+        // Event 2 without a cutoff is capped by max in-degree + 1; with a
+        // cutoff below the hub degrees it must shrink or stay equal.
+        let cut = EventScenario::new(&g, &o, (0..500).collect(), Some(4));
+        assert!(cut.event2_read_parameter() <= sc.event2_read_parameter());
+    }
+}
