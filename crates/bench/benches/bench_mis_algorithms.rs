@@ -12,7 +12,11 @@ fn graphs() -> Vec<(String, arbmis_graph::Graph, usize)> {
     let n = 10_000;
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     vec![
-        ("tree".into(), GraphSpec::new(GraphFamily::RandomTree, n).generate(&mut rng), 1),
+        (
+            "tree".into(),
+            GraphSpec::new(GraphFamily::RandomTree, n).generate(&mut rng),
+            1,
+        ),
         (
             "forests2".into(),
             GraphSpec::new(GraphFamily::ForestUnion { alpha: 2 }, n).generate(&mut rng),

@@ -1,8 +1,8 @@
 //! Benchmarks of the read-k toolkit: event evaluation and Monte-Carlo
 //! throughput.
 
-use arbmis_graph::orientation::Orientation;
 use arbmis_graph::gen;
+use arbmis_graph::orientation::Orientation;
 use arbmis_readk::events::EventScenario;
 use arbmis_readk::family::sliding_window_family;
 use arbmis_readk::montecarlo::estimate;
@@ -24,7 +24,11 @@ fn bench_readk(c: &mut Criterion) {
     });
 
     group.bench_function("montecarlo_10k_trials", |b| {
-        b.iter(|| black_box(estimate(10_000, |t| arbmis_congest::rng::draw(1, 0, t, 0).is_multiple_of(3))))
+        b.iter(|| {
+            black_box(estimate(10_000, |t| {
+                arbmis_congest::rng::draw(1, 0, t, 0).is_multiple_of(3)
+            }))
+        })
     });
 
     for n in [2_000usize, 10_000] {

@@ -7,10 +7,13 @@
 //! experiments --quick         # reduced sizes (used in CI/tests)
 //! experiments --markdown      # markdown rendering (for EXPERIMENTS.md)
 //! experiments --json out.json # machine-readable results
+//! experiments --threads 4     # simulator/Monte-Carlo worker threads
+//!                             # (0 = auto, 1 = serial; results identical)
 //! ```
 
 use arbmis_bench::exps;
 use arbmis_bench::ExperimentReport;
+use arbmis_congest::Parallelism;
 use std::io::Write as _;
 
 struct Args {
@@ -18,6 +21,7 @@ struct Args {
     markdown: bool,
     json: Option<String>,
     selected: Vec<String>,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -26,6 +30,7 @@ fn parse_args() -> Args {
         markdown: false,
         json: None,
         selected: Vec::new(),
+        threads: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -35,12 +40,17 @@ fn parse_args() -> Args {
             "--json" => {
                 args.json = Some(it.next().expect("--json needs a path"));
             }
+            "--threads" => {
+                let v = it.next().expect("--threads needs a count");
+                args.threads = Some(v.parse().expect("--threads needs an integer"));
+            }
             "--exp" => {
                 // Consume ids until the next flag.
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--markdown] [--json PATH] [--exp E1 E2 ...]"
+                    "usage: experiments [--quick] [--markdown] [--json PATH] \
+                     [--threads N] [--exp E1 E2 ...]"
                 );
                 std::process::exit(0);
             }
@@ -58,6 +68,18 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if let Some(t) = args.threads {
+        // One global policy for both the CONGEST round engine and the
+        // read-k Monte-Carlo driver; every experiment is thread-count
+        // invariant, so this only changes wall-clock.
+        let policy = match t {
+            0 => Parallelism::Auto,
+            1 => Parallelism::Serial,
+            t => Parallelism::Threads(t),
+        };
+        arbmis_congest::set_default_parallelism(policy);
+        eprintln!("[experiments] parallelism: {policy:?}");
+    }
     let registry = exps::all();
     let to_run: Vec<_> = registry
         .into_iter()
@@ -70,7 +92,10 @@ fn main() {
 
     let mut reports: Vec<ExperimentReport> = Vec::new();
     for (id, runner) in to_run {
-        eprintln!("[experiments] running {id} ({}mode)…", if args.quick { "quick " } else { "" });
+        eprintln!(
+            "[experiments] running {id} ({}mode)…",
+            if args.quick { "quick " } else { "" }
+        );
         let start = std::time::Instant::now();
         let report = runner(args.quick);
         eprintln!("[experiments] {id} done in {:.1?}", start.elapsed());

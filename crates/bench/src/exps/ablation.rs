@@ -17,7 +17,15 @@ use rand::SeedableRng;
 pub fn e12_rho_cutoff(quick: bool) -> ExperimentReport {
     let n = if quick { 2_000 } else { 20_000 };
     let mut table = Table::new([
-        "graph", "Δ", "ρ", "k(Event2) no cutoff", "k(Event2) cutoff", "|I| on", "|I| off", "rounds on", "rounds off",
+        "graph",
+        "Δ",
+        "ρ",
+        "k(Event2) no cutoff",
+        "k(Event2) cutoff",
+        "|I| on",
+        "|I| off",
+        "rounds on",
+        "rounds off",
     ]);
     for (fam, alpha) in [
         (GraphFamily::BarabasiAlbert { m: 2 }, 2usize),
@@ -71,7 +79,13 @@ pub fn e13_lambda_sweep(quick: bool) -> ExperimentReport {
     let n = if quick { 2_000 } else { 20_000 };
     let seeds: u64 = if quick { 3 } else { 10 };
     let mut table = Table::new([
-        "λ-scale", "Λ", "mean |I|", "mean residual", "mean |B|", "bad frac", "rounds",
+        "λ-scale",
+        "Λ",
+        "mean |I|",
+        "mean residual",
+        "mean |B|",
+        "bad frac",
+        "rounds",
     ]);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x13);
     let g = GraphSpec::new(GraphFamily::BarabasiAlbert { m: 3 }, n).generate(&mut rng);
@@ -83,7 +97,9 @@ pub fn e13_lambda_sweep(quick: bool) -> ExperimentReport {
         let mut lambda = 0u64;
         for seed in 0..seeds {
             let cfg = BoundedArbConfig {
-                mode: ParamMode::Practical { lambda_scale: scale },
+                mode: ParamMode::Practical {
+                    lambda_scale: scale,
+                },
                 ..BoundedArbConfig::new(3, seed)
             };
             let out = bounded_arb_independent_set(&g, &cfg);
@@ -125,7 +141,10 @@ mod tests {
         for row in &r.table.rows {
             let k_off: usize = row[3].parse().unwrap();
             let k_on: usize = row[4].parse().unwrap();
-            assert!(k_on <= k_off, "cutoff must not increase the read parameter: {row:?}");
+            assert!(
+                k_on <= k_off,
+                "cutoff must not increase the read parameter: {row:?}"
+            );
         }
     }
 

@@ -5,7 +5,9 @@ use crate::{fmt_f, ExperimentReport, Table};
 use arbmis_congest::Simulator;
 use arbmis_core::bounded_arb::{bounded_arb_independent_set, BoundedArbConfig};
 use arbmis_core::params::ParamMode;
-use arbmis_core::protocols::{BoundedArbProtocol, GhaffariProtocol, LubyProtocol, MetivierProtocol};
+use arbmis_core::protocols::{
+    BoundedArbProtocol, GhaffariProtocol, LubyProtocol, MetivierProtocol,
+};
 use arbmis_graph::gen::{GraphFamily, GraphSpec};
 use rand::SeedableRng;
 
@@ -17,7 +19,14 @@ pub fn e11_congest(quick: bool) -> ExperimentReport {
     let g = GraphSpec::new(GraphFamily::ForestUnion { alpha: 2 }, n).generate(&mut rng);
     let budget = Simulator::new(&g, seed).budget_bits().unwrap();
     let mut table = Table::new([
-        "protocol", "rounds", "messages", "total bits", "max msg bits", "avg msg bits", "budget bits", "within",
+        "protocol",
+        "rounds",
+        "messages",
+        "total bits",
+        "max msg bits",
+        "avg msg bits",
+        "budget bits",
+        "within",
     ]);
 
     let mut push = |name: &str, m: arbmis_congest::Metrics| {
@@ -29,21 +38,34 @@ pub fn e11_congest(quick: bool) -> ExperimentReport {
             m.max_message_bits.to_string(),
             fmt_f(m.avg_message_bits()),
             budget.to_string(),
-            if m.within_budget() { "✓".into() } else { "NO".to_string() },
+            if m.within_budget() {
+                "✓".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     };
 
     push(
         "metivier",
-        Simulator::new(&g, seed).run(&MetivierProtocol, 100_000).unwrap().metrics,
+        Simulator::new(&g, seed)
+            .run(&MetivierProtocol, 100_000)
+            .unwrap()
+            .metrics,
     );
     push(
         "luby",
-        Simulator::new(&g, seed).run(&LubyProtocol, 100_000).unwrap().metrics,
+        Simulator::new(&g, seed)
+            .run(&LubyProtocol, 100_000)
+            .unwrap()
+            .metrics,
     );
     push(
         "ghaffari",
-        Simulator::new(&g, seed).run(&GhaffariProtocol, 100_000).unwrap().metrics,
+        Simulator::new(&g, seed)
+            .run(&GhaffariProtocol, 100_000)
+            .unwrap()
+            .metrics,
     );
     // BoundedArb with a trimmed Λ so the oblivious schedule stays cheap to
     // message-simulate; the equivalence with the fast path is exact
@@ -57,7 +79,9 @@ pub fn e11_congest(quick: bool) -> ExperimentReport {
         params: fast.params,
         rho_cutoff: true,
     };
-    let run = Simulator::new(&g, seed).run(&proto, proto.total_rounds() + 2).unwrap();
+    let run = Simulator::new(&g, seed)
+        .run(&proto, proto.total_rounds() + 2)
+        .unwrap();
     let mis: Vec<bool> = run.states.iter().map(|s| s.in_mis).collect();
     let equal = mis == fast.in_mis;
     push("bounded-arb (alg 1)", run.metrics);
@@ -83,6 +107,9 @@ mod tests {
         for row in &r.table.rows {
             assert_eq!(row[7], "✓", "row {row:?}");
         }
-        assert!(r.notes.iter().any(|n| n.contains("bit-identical MIS: true")));
+        assert!(r
+            .notes
+            .iter()
+            .any(|n| n.contains("bit-identical MIS: true")));
     }
 }

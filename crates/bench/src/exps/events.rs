@@ -28,7 +28,15 @@ fn workload(alpha: usize, n: usize) -> (Graph, Orientation) {
 pub fn e3_event1(quick: bool) -> ExperimentReport {
     let trials = trials(quick);
     let n = if quick { 2_000 } else { 8_000 };
-    let mut table = Table::new(["α", "|M|", "k measured", "k bound α+1", "measured", "thm 3.1 lower bd", "holds"]);
+    let mut table = Table::new([
+        "α",
+        "|M|",
+        "k measured",
+        "k bound α+1",
+        "measured",
+        "thm 3.1 lower bd",
+        "holds",
+    ]);
     let mut violations = 0usize;
     for alpha in 1..=4usize {
         let (g, o) = workload(alpha, n);
@@ -53,7 +61,11 @@ pub fn e3_event1(quick: bool) -> ExperimentReport {
                 (o.max_out_degree() + 1).to_string(),
                 fmt_p(est.p_hat()),
                 fmt_p(lower),
-                if holds { "✓".into() } else { "BELOW".to_string() },
+                if holds {
+                    "✓".into()
+                } else {
+                    "BELOW".to_string()
+                },
             ]);
         }
     }
@@ -75,7 +87,13 @@ pub fn e4_event2(quick: bool) -> ExperimentReport {
     let trials = trials(quick);
     let n = if quick { 2_000 } else { 8_000 };
     let mut table = Table::new([
-        "α", "|M|", "ρ cutoff", "k measured", "Pr[success]", "thm 3.2 failure bd", "holds",
+        "α",
+        "|M|",
+        "ρ cutoff",
+        "k measured",
+        "Pr[success]",
+        "thm 3.2 failure bd",
+        "holds",
     ]);
     let mut violations = 0usize;
     for alpha in 1..=4usize {
@@ -100,7 +118,11 @@ pub fn e4_event2(quick: bool) -> ExperimentReport {
                 sc.event2_read_parameter().to_string(),
                 fmt_p(est.p_hat()),
                 fmt_p(fail_bound),
-                if holds { "✓".into() } else { "ABOVE".to_string() },
+                if holds {
+                    "✓".into()
+                } else {
+                    "ABOVE".to_string()
+                },
             ]);
         }
     }
@@ -122,7 +144,13 @@ pub fn e5_event3(quick: bool) -> ExperimentReport {
     let trials = trials(quick);
     let n = if quick { 2_000 } else { 8_000 };
     let mut table = Table::new([
-        "α", "|M|", "k measured", "k bound α(α+1)+1", "Pr[enough eliminated]", "mean elim frac", "required frac",
+        "α",
+        "|M|",
+        "k measured",
+        "k bound α(α+1)+1",
+        "Pr[enough eliminated]",
+        "mean elim frac",
+        "required frac",
     ]);
     for alpha in 1..=4usize {
         let (g, o) = workload(alpha, n);

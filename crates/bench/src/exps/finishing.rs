@@ -12,7 +12,14 @@ use rand::SeedableRng;
 /// components.
 pub fn e14_cole_vishkin(quick: bool) -> ExperimentReport {
     let mut table = Table::new([
-        "part", "input", "n", "rounds decomp", "rounds CV", "rounds sweep", "total", "valid MIS",
+        "part",
+        "input",
+        "n",
+        "rounds decomp",
+        "rounds CV",
+        "rounds sweep",
+        "total",
+        "valid MIS",
     ]);
     // Part (a): CV on random trees of growing size.
     let sizes: &[usize] = if quick {
@@ -40,7 +47,11 @@ pub fn e14_cole_vishkin(quick: bool) -> ExperimentReport {
     }
     // Part (b): the full Lemma 3.8 pipeline on component-sized graphs of
     // arboricity ≤ 3 (the size regime Lemma 3.7 guarantees for B).
-    let comp_sizes: &[usize] = if quick { &[50, 200] } else { &[50, 200, 1_000, 5_000] };
+    let comp_sizes: &[usize] = if quick {
+        &[50, 200]
+    } else {
+        &[50, 200, 1_000, 5_000]
+    };
     for &n in comp_sizes {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0x14b);
         let g = gen::apollonian(n.max(3), &mut rng);

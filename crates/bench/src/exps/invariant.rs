@@ -12,7 +12,15 @@ use rand::SeedableRng;
 pub fn e6_invariant(quick: bool) -> ExperimentReport {
     let (n, seeds) = if quick { (2_000, 5u64) } else { (20_000, 20) };
     let mut table = Table::new([
-        "family", "α", "Δ", "Θ", "Λ", "runs", "nodes ever bad", "bad frac", "bound Δ⁻²",
+        "family",
+        "α",
+        "Δ",
+        "Θ",
+        "Λ",
+        "runs",
+        "nodes ever bad",
+        "bad frac",
+        "bound Δ⁻²",
     ]);
     let families = [
         (GraphFamily::RandomTree, 1usize),
@@ -75,7 +83,9 @@ mod tests {
         assert_eq!(r.table.rows.len(), 5);
         // Bad fractions must respect the Δ⁻² bound with slack.
         for row in &r.table.rows {
-            let frac: f64 = row[7].parse().unwrap_or_else(|_| row[7].parse().unwrap_or(0.0));
+            let frac: f64 = row[7]
+                .parse()
+                .unwrap_or_else(|_| row[7].parse().unwrap_or(0.0));
             assert!(frac <= 0.05, "row {row:?}");
         }
     }

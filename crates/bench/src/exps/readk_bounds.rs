@@ -15,7 +15,15 @@ fn trials(quick: bool) -> u64 {
 /// E1: Theorem 1.1 — `Pr[∧ Y_j] ≤ p^{n/k}` on sliding-window families.
 pub fn e1_conjunction(quick: bool) -> ExperimentReport {
     let trials = trials(quick);
-    let mut table = Table::new(["n", "span", "k", "p per Y", "measured", "bound p^(n/k)", "holds"]);
+    let mut table = Table::new([
+        "n",
+        "span",
+        "k",
+        "p per Y",
+        "measured",
+        "bound p^(n/k)",
+        "holds",
+    ]);
     let mut violations = 0usize;
     // Window span s with stride 1 gives read parameter s; the per-Y
     // marginal is (1 − frac)^s.
@@ -50,7 +58,11 @@ pub fn e1_conjunction(quick: bool) -> ExperimentReport {
             fmt_p(p),
             fmt_p(est.p_hat()),
             fmt_p(bound),
-            if holds { "✓".into() } else { "VIOLATED".to_string() },
+            if holds {
+                "✓".into()
+            } else {
+                "VIOLATED".to_string()
+            },
         ]);
     }
     ExperimentReport {
@@ -70,7 +82,14 @@ pub fn e1_conjunction(quick: bool) -> ExperimentReport {
 pub fn e2_tail(quick: bool) -> ExperimentReport {
     let trials = trials(quick);
     let mut table = Table::new([
-        "n", "k", "δ", "measured", "read-k form2", "form1", "chernoff", "azuma",
+        "n",
+        "k",
+        "δ",
+        "measured",
+        "read-k form2",
+        "form1",
+        "chernoff",
+        "azuma",
     ]);
     let mut violations = 0usize;
     for (n, span, delta) in [
@@ -124,13 +143,21 @@ mod tests {
     fn e1_runs_quick_with_no_violations() {
         let r = super::e1_conjunction(true);
         assert_eq!(r.table.rows.len(), 6);
-        assert!(r.notes.iter().any(|n| n.contains("violations: 0")), "{:?}", r.notes);
+        assert!(
+            r.notes.iter().any(|n| n.contains("violations: 0")),
+            "{:?}",
+            r.notes
+        );
     }
 
     #[test]
     fn e2_runs_quick_with_no_violations() {
         let r = super::e2_tail(true);
         assert_eq!(r.table.rows.len(), 5);
-        assert!(r.notes.iter().any(|n| n.contains("violations: 0")), "{:?}", r.notes);
+        assert!(
+            r.notes.iter().any(|n| n.contains("violations: 0")),
+            "{:?}",
+            r.notes
+        );
     }
 }

@@ -10,7 +10,15 @@ use rand::SeedableRng;
 pub fn e8_scaling(quick: bool) -> ExperimentReport {
     let seeds: u64 = if quick { 2 } else { 5 };
     let mut table = Table::new([
-        "sweep", "n", "α", "Δ", "rounds", "shatter", "finish", "√(lg n·lglg n)", "rounds/α²",
+        "sweep",
+        "n",
+        "α",
+        "Δ",
+        "rounds",
+        "shatter",
+        "finish",
+        "√(lg n·lglg n)",
+        "rounds/α²",
     ]);
     let n_sweep: &[usize] = if quick {
         &[1 << 9, 1 << 11]
@@ -19,7 +27,8 @@ pub fn e8_scaling(quick: bool) -> ExperimentReport {
     };
     // Rounds vs n at α = 2.
     for &n in n_sweep {
-        let (rounds, shatter, finish, delta) = mean_arbmis(GraphFamily::ForestUnion { alpha: 2 }, n, 2, seeds);
+        let (rounds, shatter, finish, delta) =
+            mean_arbmis(GraphFamily::ForestUnion { alpha: 2 }, n, 2, seeds);
         let logn = (n as f64).log2();
         let ref_shape = (logn * logn.log2()).sqrt();
         table.push_row([
@@ -88,7 +97,13 @@ pub fn e9_race(quick: bool) -> ExperimentReport {
     let n = if quick { 2_000 } else { 20_000 };
     let seeds: u64 = if quick { 2 } else { 5 };
     let mut table = Table::new([
-        "family", "α", "luby", "metivier", "ghaffari", "arbmis", "arbmis shatter-only",
+        "family",
+        "α",
+        "luby",
+        "metivier",
+        "ghaffari",
+        "arbmis",
+        "arbmis shatter-only",
     ]);
     let families = [
         (GraphFamily::RandomTree, 1usize),

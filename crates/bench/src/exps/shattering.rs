@@ -19,7 +19,13 @@ use rand::SeedableRng;
 pub fn e7_bad_components(quick: bool) -> ExperimentReport {
     let (n, seeds) = if quick { (3_000, 3u64) } else { (30_000, 10) };
     let mut table = Table::new([
-        "family", "Δ", "p_bad", "mean |B|", "max comp in G", "max comp in G^[7,13]", "lemma cap Δ⁶·log_Δ n",
+        "family",
+        "Δ",
+        "p_bad",
+        "mean |B|",
+        "max comp in G",
+        "max comp in G^[7,13]",
+        "lemma cap Δ⁶·log_Δ n",
     ]);
     let families = [
         (GraphFamily::ForestUnion { alpha: 2 }, 2usize),
@@ -76,7 +82,12 @@ pub fn e7_bad_components(quick: bool) -> ExperimentReport {
 pub fn e10_residual(quick: bool) -> ExperimentReport {
     let (n, seeds) = if quick { (3_000, 3u64) } else { (50_000, 10) };
     let mut table = Table::new([
-        "family", "iters", "mean active", "mean #comps", "mean max comp", "max comp (all seeds)",
+        "family",
+        "iters",
+        "mean active",
+        "mean #comps",
+        "mean max comp",
+        "max comp (all seeds)",
     ]);
     let families = [
         GraphFamily::ForestUnion { alpha: 2 },

@@ -19,9 +19,20 @@ pub fn e15_tree_specialization(quick: bool) -> ExperimentReport {
         &[1 << 10, 1 << 13, 1 << 16]
     };
     let mut table = Table::new([
-        "tree family", "n", "luby", "metivier", "tree-mis", "  (shatter)", "  (finish)", "arbmis α=1", "√(lg n·lglg n)",
+        "tree family",
+        "n",
+        "luby",
+        "metivier",
+        "tree-mis",
+        "  (shatter)",
+        "  (finish)",
+        "arbmis α=1",
+        "√(lg n·lglg n)",
     ]);
-    for fam in [GraphFamily::RandomTree, GraphFamily::Caterpillar { legs: 5 }] {
+    for fam in [
+        GraphFamily::RandomTree,
+        GraphFamily::Caterpillar { legs: 5 },
+    ] {
         for &n in sizes {
             let mut rng = rand::rngs::StdRng::seed_from_u64(0x15);
             let g = GraphSpec::new(fam, n).generate(&mut rng);
@@ -75,7 +86,16 @@ pub fn e15_tree_specialization(quick: bool) -> ExperimentReport {
 pub fn e16_workloads(quick: bool) -> ExperimentReport {
     let n = if quick { 1_000 } else { 10_000 };
     let mut table = Table::new([
-        "family", "n", "m", "Δ", "avg deg", "degen", "α bounds", "comps", "triangles", "clustering",
+        "family",
+        "n",
+        "m",
+        "Δ",
+        "avg deg",
+        "degen",
+        "α bounds",
+        "comps",
+        "triangles",
+        "clustering",
     ]);
     let families = [
         GraphFamily::RandomTree,

@@ -273,7 +273,11 @@ mod tests {
             .run(&LeaderElect { rounds: 55 }, 200)
             .unwrap();
         // A naive re-broadcast-every-round would send 55·2·49 ≈ 5390.
-        assert!(run.metrics.messages < 3000, "messages {}", run.metrics.messages);
+        assert!(
+            run.metrics.messages < 3000,
+            "messages {}",
+            run.metrics.messages
+        );
     }
 
     #[test]
@@ -281,7 +285,13 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let g = gen::random_tree_prufer(80, &mut rng);
         let run = Simulator::new(&g, 1)
-            .run(&BfsTree { root: 0, horizon: 90 }, 200)
+            .run(
+                &BfsTree {
+                    root: 0,
+                    horizon: 90,
+                },
+                200,
+            )
             .unwrap();
         let expect = arbmis_graph::traversal::bfs_distances(&g, 0);
         for (v, (st, &d)) in run.states.iter().zip(&expect).enumerate() {
@@ -298,7 +308,13 @@ mod tests {
     fn bfs_unreached_nodes() {
         let g = arbmis_graph::Graph::from_edges(4, &[(0, 1)]);
         let run = Simulator::new(&g, 1)
-            .run(&BfsTree { root: 0, horizon: 6 }, 20)
+            .run(
+                &BfsTree {
+                    root: 0,
+                    horizon: 6,
+                },
+                20,
+            )
             .unwrap();
         assert_eq!(run.states[1].distance, Some(1));
         assert_eq!(run.states[2].distance, None);

@@ -61,20 +61,23 @@
 pub mod algorithms;
 pub mod message;
 pub mod metrics;
-pub mod transcript;
+pub mod parallel;
 pub mod protocol;
 pub mod rng;
 pub mod simulator;
+pub mod transcript;
 
-pub use message::Message;
+pub use message::{DecodeError, Message};
 pub use metrics::Metrics;
+pub use parallel::{default_parallelism, set_default_parallelism, Parallelism};
 pub use protocol::{Inbox, NodeInfo, Outgoing, Protocol};
 pub use simulator::{Simulator, SimulatorError, SimulatorRun};
 
 /// Convenient glob import for protocol implementations.
 pub mod prelude {
-    pub use crate::message::Message;
+    pub use crate::message::{DecodeError, Message};
     pub use crate::metrics::Metrics;
+    pub use crate::parallel::Parallelism;
     pub use crate::protocol::{Inbox, NodeInfo, Outgoing, Protocol};
     pub use crate::rng::{self, NodeRng};
     pub use crate::simulator::{Simulator, SimulatorError, SimulatorRun};

@@ -7,15 +7,73 @@
 //! messages exceed the bandwidth budget.
 
 use bytes::BufMut;
+use std::fmt;
+
+/// Error while decoding a [`Message`] from bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the message was complete.
+    UnexpectedEof,
+    /// The bytes do not form a valid encoding (bad tag, overflow, …).
+    Invalid(&'static str),
+    /// [`Message::decode_all`] found bytes left over after the message.
+    TrailingBytes {
+        /// How many bytes remained unconsumed.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// A message that knows its own wire encoding.
 ///
 /// Implementations should encode compactly — the whole point is honest
 /// `O(log n)`-bit accounting. Varint encoding is provided via
-/// [`put_varint`] for integer fields whose typical values are small.
+/// [`put_varint`] / [`get_varint`] for integer fields whose typical
+/// values are small. `decode` must be the exact inverse of `encode`:
+/// `T::decode_all(&encoding_of(m)) == Ok(m)` for every message `m`
+/// (checked by property tests in `tests/properties.rs`).
 pub trait Message: Clone + std::fmt::Debug {
     /// Appends the wire encoding of `self` to `buf`.
     fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Parses one message from the front of `buf`, advancing it past the
+    /// consumed bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if `buf` is truncated or not a valid encoding.
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError>;
+
+    /// Parses a message that must occupy `bytes` exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] as for [`decode`](Message::decode), plus
+    /// [`DecodeError::TrailingBytes`] if input is left over.
+    fn decode_all(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut cursor = bytes;
+        let msg = Self::decode(&mut cursor)?;
+        if cursor.is_empty() {
+            Ok(msg)
+        } else {
+            Err(DecodeError::TrailingBytes {
+                remaining: cursor.len(),
+            })
+        }
+    }
 
     /// Size of the wire encoding in bits.
     fn bit_size(&self) -> usize {
@@ -44,9 +102,47 @@ pub fn varint_len(x: u64) -> usize {
     bits.div_ceil(7).max(1)
 }
 
+/// Reads one [`put_varint`] value from the front of `buf`, advancing it.
+///
+/// # Errors
+///
+/// [`DecodeError::UnexpectedEof`] on a truncated varint,
+/// [`DecodeError::Invalid`] if the value would overflow 64 bits.
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    let mut x: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let (&byte, rest) = buf.split_first().ok_or(DecodeError::UnexpectedEof)?;
+        *buf = rest;
+        let payload = u64::from(byte & 0x7f);
+        if shift == 63 && payload > 1 {
+            return Err(DecodeError::Invalid("varint overflows u64"));
+        }
+        x |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(x);
+        }
+    }
+    Err(DecodeError::Invalid("varint longer than 10 bytes"))
+}
+
+/// Reads one byte from the front of `buf`, advancing it.
+///
+/// # Errors
+///
+/// [`DecodeError::UnexpectedEof`] on empty input.
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
+    let (&byte, rest) = buf.split_first().ok_or(DecodeError::UnexpectedEof)?;
+    *buf = rest;
+    Ok(byte)
+}
+
 impl Message for u64 {
     fn encode(&self, buf: &mut Vec<u8>) {
         put_varint(buf, *self);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        get_varint(buf)
     }
 }
 
@@ -54,16 +150,32 @@ impl Message for u32 {
     fn encode(&self, buf: &mut Vec<u8>) {
         put_varint(buf, u64::from(*self));
     }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        u32::try_from(get_varint(buf)?).map_err(|_| DecodeError::Invalid("value overflows u32"))
+    }
 }
 
 impl Message for bool {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.put_u8(u8::from(*self));
     }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match get_u8(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid("bool byte not 0/1")),
+        }
+    }
 }
 
 impl Message for () {
     fn encode(&self, _buf: &mut Vec<u8>) {}
+
+    fn decode(_buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(())
+    }
 
     fn bit_size(&self) -> usize {
         0
@@ -75,6 +187,10 @@ impl<A: Message, B: Message> Message for (A, B) {
         self.0.encode(buf);
         self.1.encode(buf);
     }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
 }
 
 impl<T: Message> Message for Option<T> {
@@ -85,6 +201,14 @@ impl<T: Message> Message for Option<T> {
                 buf.put_u8(1);
                 t.encode(buf);
             }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match get_u8(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(DecodeError::Invalid("option tag not 0/1")),
         }
     }
 }
@@ -132,5 +256,71 @@ mod tests {
     #[test]
     fn bool_message() {
         assert_eq!(true.bit_size(), 8);
+    }
+
+    fn roundtrip<M: Message + PartialEq>(m: &M) {
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        assert_eq!(M::decode_all(&buf).as_ref(), Ok(m));
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        for x in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            roundtrip(&x);
+        }
+        roundtrip(&u32::MAX);
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&());
+        roundtrip(&(7u64, Some(300u64)));
+        roundtrip(&Option::<u64>::None);
+        roundtrip(&Some((1u32, false)));
+    }
+
+    #[test]
+    fn decode_error_paths() {
+        // Truncated varint.
+        assert_eq!(u64::decode_all(&[0x80]), Err(DecodeError::UnexpectedEof));
+        // Empty input for a tagged type.
+        assert_eq!(bool::decode_all(&[]), Err(DecodeError::UnexpectedEof));
+        // Bad tag bytes.
+        assert!(matches!(
+            bool::decode_all(&[2]),
+            Err(DecodeError::Invalid(_))
+        ));
+        assert!(matches!(
+            Option::<u64>::decode_all(&[9]),
+            Err(DecodeError::Invalid(_))
+        ));
+        // Trailing bytes rejected by decode_all but fine for decode.
+        assert_eq!(
+            u64::decode_all(&[5, 6]),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+        let mut cursor: &[u8] = &[5, 6];
+        assert_eq!(u64::decode(&mut cursor), Ok(5));
+        assert_eq!(cursor, &[6]);
+        // u32 overflow.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::from(u32::MAX) + 1);
+        assert!(matches!(
+            u32::decode_all(&buf),
+            Err(DecodeError::Invalid(_))
+        ));
+        // Varint overflowing 64 bits (11 × continuation).
+        let overlong = [0xffu8; 11];
+        assert!(u64::decode_all(&overlong).is_err());
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert!(DecodeError::UnexpectedEof
+            .to_string()
+            .contains("end of input"));
+        assert!(DecodeError::Invalid("x").to_string().contains('x'));
+        assert!(DecodeError::TrailingBytes { remaining: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

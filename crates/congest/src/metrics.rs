@@ -37,8 +37,7 @@ impl Metrics {
     /// Whether every message respected the budget (vacuously true when no
     /// budget was set).
     pub fn within_budget(&self) -> bool {
-        self.budget_bits
-            .is_none_or(|b| self.max_message_bits <= b)
+        self.budget_bits.is_none_or(|b| self.max_message_bits <= b)
     }
 }
 

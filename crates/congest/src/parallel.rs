@@ -1,0 +1,140 @@
+//! Parallel execution configuration for the round engine.
+//!
+//! The parallel engine (see [`crate::Simulator::run_parallel`]) fans each
+//! synchronous round's node activations across a scoped thread pool. Its
+//! determinism contract: for a fixed `(graph, seed, protocol)`, the
+//! parallel engine produces *bit-identical* results to the serial engine
+//! at every thread count — same final states, same [`crate::Metrics`],
+//! same transcript digest, same error on protocol misbehaviour. This
+//! holds because
+//!
+//! 1. node randomness is counter-based ([`crate::rng`]): a draw depends
+//!    only on `(seed, node, round, tag)`, never on scheduling;
+//! 2. nodes are partitioned into contiguous id-ranges ("chunks") whose
+//!    boundaries are a pure function of `(n, threads)` — workers steal
+//!    whole chunks, and each chunk's sends are buffered locally in node
+//!    order;
+//! 3. chunk buffers are merged *in chunk index order* (= ascending node
+//!    order), which replays exactly the send sequence the serial
+//!    `for v in 0..n` loop would have produced.
+//!
+//! Thread count therefore affects wall-clock only, never results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many chunks each worker thread should get on average. More chunks
+/// give better work-stealing balance on skewed degree distributions, at
+/// the cost of slightly more merge bookkeeping.
+pub(crate) const CHUNKS_PER_THREAD: usize = 4;
+
+/// Thread-count policy for [`crate::Simulator::run_parallel`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Single-threaded: `run_parallel` behaves exactly like `run`.
+    Serial,
+    /// One worker per available hardware thread.
+    #[default]
+    Auto,
+    /// Exactly this many worker threads (0 is treated as 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Resolves the policy to a concrete worker count for an `n`-node
+    /// simulation. Never returns 0; never exceeds `n`.
+    pub fn effective_threads(self, n: usize) -> usize {
+        let raw = match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            Parallelism::Threads(t) => t.max(1),
+        };
+        raw.min(n.max(1))
+    }
+}
+
+/// Contiguous node-id chunk boundaries: a pure function of `(n, threads)`
+/// so a given configuration always produces the same partition.
+pub(crate) fn chunk_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let chunks = (threads * CHUNKS_PER_THREAD).clamp(1, n.max(1));
+    (0..chunks)
+        .map(|i| (i * n / chunks, (i + 1) * n / chunks))
+        .collect()
+}
+
+/// Process-wide default [`Parallelism`], encoded as:
+/// 0 = `Auto`, 1 = `Serial`, `t + 1` = `Threads(t)`.
+static DEFAULT_PARALLELISM: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default parallelism picked up by
+/// [`crate::Simulator::new`]. Benchmarks and the `experiments` binary use
+/// this to route every simulation through one `--threads` setting.
+pub fn set_default_parallelism(p: Parallelism) {
+    let enc = match p {
+        Parallelism::Auto => 0,
+        Parallelism::Serial => 1,
+        Parallelism::Threads(t) => t.saturating_add(1).max(2),
+    };
+    DEFAULT_PARALLELISM.store(enc, Ordering::Relaxed);
+}
+
+/// The current process-wide default parallelism (initially
+/// [`Parallelism::Auto`]).
+pub fn default_parallelism() -> Parallelism {
+    match DEFAULT_PARALLELISM.load(Ordering::Relaxed) {
+        0 => Parallelism::Auto,
+        1 => Parallelism::Serial,
+        t => Parallelism::Threads(t - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bounds_partition_exactly() {
+        for n in [0, 1, 2, 7, 100, 1001] {
+            for threads in [1, 2, 4, 8] {
+                let bounds = chunk_bounds(n, threads);
+                assert!(!bounds.is_empty());
+                assert_eq!(bounds[0].0, 0);
+                assert_eq!(bounds.last().unwrap().1, n);
+                for w in bounds.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "chunks must be contiguous");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_are_deterministic() {
+        assert_eq!(chunk_bounds(1000, 4), chunk_bounds(1000, 4));
+    }
+
+    #[test]
+    fn effective_threads_never_zero() {
+        assert_eq!(Parallelism::Serial.effective_threads(100), 1);
+        assert_eq!(Parallelism::Threads(0).effective_threads(100), 1);
+        assert_eq!(Parallelism::Threads(4).effective_threads(100), 4);
+        assert_eq!(Parallelism::Threads(64).effective_threads(3), 3);
+        assert!(Parallelism::Auto.effective_threads(1_000_000) >= 1);
+        assert_eq!(Parallelism::Auto.effective_threads(0), 1);
+    }
+
+    #[test]
+    fn parallelism_encoding_roundtrips() {
+        for p in [
+            Parallelism::Auto,
+            Parallelism::Serial,
+            Parallelism::Threads(1),
+            Parallelism::Threads(8),
+        ] {
+            set_default_parallelism(p);
+            assert_eq!(default_parallelism(), p);
+        }
+        // Restore the documented initial default for other tests.
+        set_default_parallelism(Parallelism::Auto);
+    }
+}

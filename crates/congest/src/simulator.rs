@@ -2,9 +2,13 @@
 
 use crate::message::Message;
 use crate::metrics::Metrics;
+use crate::parallel::{self, Parallelism};
 use crate::protocol::{Inbox, NodeInfo, Outgoing, Protocol};
 use arbmis_graph::{Graph, NodeId};
+use parking_lot::{Mutex, RwLock};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Barrier;
 
 /// Errors a simulation can end with.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,9 +44,17 @@ impl fmt::Display for SimulatorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimulatorError::RoundLimitExceeded { limit, pending } => {
-                write!(f, "round limit {limit} exceeded with {pending} nodes pending")
+                write!(
+                    f,
+                    "round limit {limit} exceeded with {pending} nodes pending"
+                )
             }
-            SimulatorError::BandwidthExceeded { from, to, bits, budget } => write!(
+            SimulatorError::BandwidthExceeded {
+                from,
+                to,
+                bits,
+                budget,
+            } => write!(
                 f,
                 "message {from}->{to} of {bits} bits exceeds budget {budget} bits"
             ),
@@ -76,17 +88,37 @@ pub struct Simulator<'g> {
     graph: &'g Graph,
     seed: u64,
     budget_bits: Option<usize>,
+    parallelism: Parallelism,
 }
 
 impl<'g> Simulator<'g> {
     /// Creates a simulator over `graph` with master randomness `seed`.
+    ///
+    /// The parallelism policy for [`run_parallel`](Self::run_parallel)
+    /// starts from the process-wide default
+    /// ([`crate::parallel::default_parallelism`]); override per-instance
+    /// with [`with_parallelism`](Self::with_parallelism).
     pub fn new(graph: &'g Graph, seed: u64) -> Self {
         let logn = (graph.n().max(2) as f64).log2().ceil() as usize;
         Simulator {
             graph,
             seed,
             budget_bits: Some(16 * logn.max(1)),
+            parallelism: parallel::default_parallelism(),
         }
+    }
+
+    /// Sets the thread-count policy used by
+    /// [`run_parallel`](Self::run_parallel). Results are bit-identical at
+    /// every setting; only wall-clock changes.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured thread-count policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Overrides the per-message budget to `factor · ⌈log₂ n⌉` bits.
@@ -138,6 +170,258 @@ impl<'g> Simulator<'g> {
         let mut transcript = crate::transcript::Transcript::new();
         let run = self.run_impl(protocol, max_rounds, Some(&mut transcript))?;
         Ok((run, transcript))
+    }
+
+    /// Like [`run`](Self::run), but fans each round's node activations
+    /// across a scoped thread pool per the configured [`Parallelism`].
+    ///
+    /// Determinism contract (see [`crate::parallel`]): the outcome —
+    /// final states, metrics, and any error — is bit-identical to
+    /// [`run`](Self::run) for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_parallel<P>(
+        &self,
+        protocol: &P,
+        max_rounds: u64,
+    ) -> Result<SimulatorRun<P::State>, SimulatorError>
+    where
+        P: Protocol + Sync,
+        P::State: Send,
+        P::Msg: Send + Sync,
+    {
+        self.run_parallel_impl(protocol, max_rounds, None)
+    }
+
+    /// Like [`run_traced`](Self::run_traced) on the parallel engine: the
+    /// transcript (and its digest) is bit-identical to the serial one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_parallel_traced<P>(
+        &self,
+        protocol: &P,
+        max_rounds: u64,
+    ) -> Result<(SimulatorRun<P::State>, crate::transcript::Transcript), SimulatorError>
+    where
+        P: Protocol + Sync,
+        P::State: Send,
+        P::Msg: Send + Sync,
+    {
+        let mut transcript = crate::transcript::Transcript::new();
+        let run = self.run_parallel_impl(protocol, max_rounds, Some(&mut transcript))?;
+        Ok((run, transcript))
+    }
+
+    fn run_parallel_impl<P>(
+        &self,
+        protocol: &P,
+        max_rounds: u64,
+        mut transcript: Option<&mut crate::transcript::Transcript>,
+    ) -> Result<SimulatorRun<P::State>, SimulatorError>
+    where
+        P: Protocol + Sync,
+        P::State: Send,
+        P::Msg: Send + Sync,
+    {
+        let g = self.graph;
+        let n = g.n();
+        let threads = self.parallelism.effective_threads(n);
+        if threads <= 1 || max_rounds == 0 || n == 0 {
+            return self.run_impl(protocol, max_rounds, transcript);
+        }
+        let bounds = parallel::chunk_bounds(n, threads);
+        let chunk_count = bounds.len();
+        let workers = threads.min(chunk_count);
+        let mut metrics = Metrics {
+            budget_bits: self.budget_bits,
+            ..Metrics::default()
+        };
+
+        let states: Vec<P::State> = (0..n)
+            .map(|v| {
+                let info = NodeInfo {
+                    id: v,
+                    n,
+                    neighbors: g.neighbors(v),
+                    round: 0,
+                    seed: self.seed,
+                };
+                protocol.init(&info)
+            })
+            .collect();
+
+        // Top-of-round-0 termination check, exactly like the serial loop.
+        if states.iter().all(|s| protocol.is_done(s)) {
+            metrics.rounds = 0;
+            return Ok(SimulatorRun { states, metrics });
+        }
+
+        // Node id -> chunk index, for partitioning sends by destination.
+        let mut dest_chunk = vec![0u32; n];
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            dest_chunk[lo..hi].iter_mut().for_each(|c| *c = i as u32);
+        }
+
+        // Per-chunk simulation state. Lock contention is nil: each chunk
+        // is claimed by exactly one worker per phase, and phases are
+        // barrier-separated.
+        let mut slots: Vec<Mutex<ChunkSlot<P>>> = Vec::with_capacity(chunk_count);
+        {
+            let mut it = states.into_iter();
+            for &(lo, hi) in &bounds {
+                let chunk: Vec<P::State> = it.by_ref().take(hi - lo).collect();
+                slots.push(Mutex::new(ChunkSlot {
+                    lo,
+                    states: chunk,
+                    halted: vec![false; hi - lo],
+                    inboxes: vec![Vec::new(); hi - lo],
+                }));
+            }
+        }
+
+        let traced = transcript.is_some();
+        let outs: Vec<RwLock<ChunkOut<P::Msg>>> = (0..chunk_count)
+            .map(|_| RwLock::new(ChunkOut::empty()))
+            .collect();
+        // Workers and the coordinator rendezvous three times per round:
+        // round start, activations done, merge decision published.
+        let barrier = Barrier::new(workers + 1);
+        let stop = AtomicBool::new(false);
+        let a_next = AtomicUsize::new(0);
+        let b_next = AtomicUsize::new(0);
+        let (seed, budget) = (self.seed, self.budget_bits);
+
+        enum Outcome {
+            Done,
+            Limit,
+            Fail(SimulatorError),
+        }
+        let mut outcome = Outcome::Limit;
+
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| {
+                    let mut round: u64 = 0;
+                    loop {
+                        barrier.wait(); // round start
+                                        // Phase A: steal chunks, run their activations.
+                        loop {
+                            let i = a_next.fetch_add(1, Ordering::Relaxed);
+                            if i >= chunk_count {
+                                break;
+                            }
+                            let mut slot = slots[i].lock();
+                            let out = process_chunk(
+                                protocol,
+                                g,
+                                seed,
+                                round,
+                                budget,
+                                traced,
+                                &dest_chunk,
+                                chunk_count,
+                                &mut slot,
+                            );
+                            *outs[i].write() = out;
+                        }
+                        barrier.wait(); // activations done; coordinator merges
+                        barrier.wait(); // decision published
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // Phase B: steal chunks, deliver their inboxes.
+                        loop {
+                            let j = b_next.fetch_add(1, Ordering::Relaxed);
+                            if j >= chunk_count {
+                                break;
+                            }
+                            let mut slot = slots[j].lock();
+                            deliver_chunk(&mut slot, j, &outs);
+                        }
+                        round += 1;
+                    }
+                });
+            }
+
+            // Coordinator: merge in chunk index order (= ascending node
+            // order) so the first error, metrics, and transcript all
+            // coincide with the serial engine.
+            for round in 0..max_rounds {
+                barrier.wait(); // release phase A
+                barrier.wait(); // phase A complete; workers idle
+
+                let mut first_err = None;
+                for out in &outs {
+                    if let Some(e) = &out.read().error {
+                        first_err = Some(e.clone());
+                        break;
+                    }
+                }
+                let decided = if let Some(e) = first_err {
+                    Some(Outcome::Fail(e))
+                } else {
+                    let mut all_done = true;
+                    for out_lock in &outs {
+                        let mut out = out_lock.write();
+                        metrics.messages += out.messages;
+                        metrics.bits += out.bits;
+                        metrics.max_message_bits = metrics.max_message_bits.max(out.max_bits);
+                        all_done &= out.all_done;
+                        if let Some(t) = transcript.as_deref_mut() {
+                            for &(from, to, bits) in &out.events_flat {
+                                t.record(round, from, to, bits);
+                            }
+                            out.events_flat.clear();
+                        }
+                    }
+                    if all_done {
+                        metrics.rounds = round + 1;
+                        Some(Outcome::Done)
+                    } else if round + 1 == max_rounds {
+                        Some(Outcome::Limit)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(o) = decided {
+                    outcome = o;
+                    stop.store(true, Ordering::SeqCst);
+                    barrier.wait(); // release workers into their exit check
+                    break;
+                }
+                // Workers are idle between the two barriers: safe to
+                // reset the steal counters for phase B / the next round.
+                a_next.store(0, Ordering::SeqCst);
+                b_next.store(0, Ordering::SeqCst);
+                barrier.wait(); // release phase B
+            }
+        })
+        .expect("simulator worker thread panicked");
+
+        let mut states = Vec::with_capacity(n);
+        let mut halted = Vec::with_capacity(n);
+        for slot in slots {
+            let slot = slot.into_inner();
+            states.extend(slot.states);
+            halted.extend(slot.halted);
+        }
+        match outcome {
+            Outcome::Done => Ok(SimulatorRun { states, metrics }),
+            Outcome::Fail(e) => Err(e),
+            Outcome::Limit => {
+                let pending = (0..n)
+                    .filter(|&v| !protocol.is_done(&states[v]) && !halted[v])
+                    .count();
+                Err(SimulatorError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    pending,
+                })
+            }
+        }
     }
 
     fn run_impl<P: Protocol>(
@@ -253,6 +537,166 @@ impl<'g> Simulator<'g> {
     }
 }
 
+/// One chunk's long-lived simulation state: the node states, halt
+/// flags, and inboxes for nodes `lo..lo + states.len()`.
+struct ChunkSlot<P: Protocol> {
+    lo: NodeId,
+    states: Vec<P::State>,
+    halted: Vec<bool>,
+    inboxes: Vec<Inbox<P::Msg>>,
+}
+
+/// One worker's output for one chunk's round: sends partitioned by
+/// destination chunk (each partition in serial emission order) plus
+/// local metric partials. The worker stops at its first error (like the
+/// serial loop); earlier chunks are checked first during the merge, so
+/// the reported error matches serial node order.
+struct ChunkOut<M> {
+    /// `(from, to, msg)` per destination chunk, in serial emission order.
+    events_by_dest: Vec<Vec<(NodeId, NodeId, M)>>,
+    /// `(from, to, bits)` in serial emission order; filled only when a
+    /// transcript is being recorded.
+    events_flat: Vec<(NodeId, NodeId, usize)>,
+    messages: u64,
+    bits: u64,
+    max_bits: usize,
+    /// Whether every node of the chunk is halted or done after this
+    /// round (= the serial engine's top-of-next-round termination test).
+    all_done: bool,
+    error: Option<SimulatorError>,
+}
+
+impl<M> ChunkOut<M> {
+    /// Placeholder contents; overwritten by phase A before any read.
+    fn empty() -> Self {
+        ChunkOut {
+            events_by_dest: Vec::new(),
+            events_flat: Vec::new(),
+            messages: 0,
+            bits: 0,
+            max_bits: 0,
+            all_done: false,
+            error: None,
+        }
+    }
+}
+
+/// Runs one round's activations for a chunk, mirroring the serial loop
+/// body exactly.
+#[allow(clippy::too_many_arguments)]
+fn process_chunk<P: Protocol>(
+    protocol: &P,
+    g: &Graph,
+    seed: u64,
+    round: u64,
+    budget: Option<usize>,
+    traced: bool,
+    dest_chunk: &[u32],
+    chunk_count: usize,
+    slot: &mut ChunkSlot<P>,
+) -> ChunkOut<P::Msg> {
+    let n = g.n();
+    let ChunkSlot {
+        lo,
+        states,
+        halted,
+        inboxes,
+    } = slot;
+    let lo = *lo;
+    let mut out = ChunkOut {
+        events_by_dest: (0..chunk_count).map(|_| Vec::new()).collect(),
+        ..ChunkOut::empty()
+    };
+    let send = |out: &mut ChunkOut<P::Msg>, from: NodeId, to: NodeId, bits: usize, msg: P::Msg| {
+        if let Some(budget) = budget {
+            if bits > budget {
+                out.error = Some(SimulatorError::BandwidthExceeded {
+                    from,
+                    to,
+                    bits,
+                    budget,
+                });
+                return false;
+            }
+        }
+        out.messages += 1;
+        out.bits += bits as u64;
+        out.max_bits = out.max_bits.max(bits);
+        if traced {
+            out.events_flat.push((from, to, bits));
+        }
+        out.events_by_dest[dest_chunk[to] as usize].push((from, to, msg));
+        true
+    };
+    for (off, state) in states.iter_mut().enumerate() {
+        if halted[off] {
+            continue;
+        }
+        let v = lo + off;
+        let info = NodeInfo {
+            id: v,
+            n,
+            neighbors: g.neighbors(v),
+            round,
+            seed,
+        };
+        match protocol.round(state, &info, &inboxes[off]) {
+            Outgoing::Silent => {}
+            Outgoing::Halt => halted[off] = true,
+            Outgoing::Broadcast(msg) => {
+                let bits = msg.bit_size();
+                for &u in g.neighbors(v) {
+                    if !send(&mut out, v, u, bits, msg.clone()) {
+                        return out;
+                    }
+                }
+            }
+            Outgoing::Unicast(list) => {
+                for (u, msg) in list {
+                    if !g.has_edge(v, u) {
+                        out.error = Some(SimulatorError::NotANeighbor { from: v, to: u });
+                        return out;
+                    }
+                    let bits = msg.bit_size();
+                    if !send(&mut out, v, u, bits, msg) {
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+    out.all_done = halted
+        .iter()
+        .zip(states.iter())
+        .all(|(h, s)| *h || protocol.is_done(s));
+    out
+}
+
+/// Rebuilds chunk `j`'s inboxes from every chunk's sends, visiting
+/// source chunks in ascending order — the exact serial push sequence —
+/// then stable-sorting each inbox by sender, as the serial engine does.
+fn deliver_chunk<P: Protocol>(
+    slot: &mut ChunkSlot<P>,
+    j: usize,
+    outs: &[RwLock<ChunkOut<P::Msg>>],
+) {
+    for ib in slot.inboxes.iter_mut() {
+        ib.clear();
+    }
+    let lo = slot.lo;
+    for out_lock in outs {
+        let out = out_lock.read();
+        for (from, to, msg) in &out.events_by_dest[j] {
+            slot.inboxes[*to - lo].push((*from, msg.clone()));
+        }
+    }
+    for ib in slot.inboxes.iter_mut() {
+        // Deliver sorted by sender for determinism (stable, so a given
+        // sender's messages stay in emission order).
+        ib.sort_by_key(|&(s, _)| s);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,7 +750,9 @@ mod tests {
     #[test]
     fn flood_max_converges_on_path() {
         let g = gen::path(10);
-        let run = Simulator::new(&g, 1).run(&FloodMax { rounds: 10 }, 100).unwrap();
+        let run = Simulator::new(&g, 1)
+            .run(&FloodMax { rounds: 10 }, 100)
+            .unwrap();
         assert!(run.states.iter().all(|s| s.best == 9));
         assert_eq!(run.metrics.rounds, 11);
         assert!(run.metrics.within_budget());
@@ -330,7 +776,9 @@ mod tests {
     #[test]
     fn message_accounting() {
         let g = gen::star(5); // hub degree 4
-        let run = Simulator::new(&g, 1).run(&FloodMax { rounds: 1 }, 10).unwrap();
+        let run = Simulator::new(&g, 1)
+            .run(&FloodMax { rounds: 1 }, 10)
+            .unwrap();
         // Round 0: every node broadcasts once -> 2m = 8 messages.
         assert_eq!(run.metrics.messages, 8);
         assert!(run.metrics.max_message_bits <= 8);
@@ -355,6 +803,13 @@ mod tests {
     impl Message for BigMsg {
         fn encode(&self, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&[0u8; 1024]);
+        }
+        fn decode(buf: &mut &[u8]) -> Result<Self, crate::message::DecodeError> {
+            if buf.len() < 1024 {
+                return Err(crate::message::DecodeError::UnexpectedEof);
+            }
+            *buf = &buf[1024..];
+            Ok(BigMsg)
         }
     }
 
@@ -400,8 +855,12 @@ mod tests {
     fn determinism_same_seed() {
         use rand::SeedableRng;
         let g = gen::gnp(50, 0.1, &mut rand::rngs::StdRng::seed_from_u64(9));
-        let r1 = Simulator::new(&g, 77).run(&FloodMax { rounds: 8 }, 50).unwrap();
-        let r2 = Simulator::new(&g, 77).run(&FloodMax { rounds: 8 }, 50).unwrap();
+        let r1 = Simulator::new(&g, 77)
+            .run(&FloodMax { rounds: 8 }, 50)
+            .unwrap();
+        let r2 = Simulator::new(&g, 77)
+            .run(&FloodMax { rounds: 8 }, 50)
+            .unwrap();
         assert_eq!(r1.metrics, r2.metrics);
         let b1: Vec<u64> = r1.states.iter().map(|s| s.best).collect();
         let b2: Vec<u64> = r2.states.iter().map(|s| s.best).collect();
@@ -431,7 +890,9 @@ mod tests {
     #[test]
     fn traced_run_matches_untraced() {
         let g = gen::cycle(12);
-        let plain = Simulator::new(&g, 3).run(&FloodMax { rounds: 8 }, 50).unwrap();
+        let plain = Simulator::new(&g, 3)
+            .run(&FloodMax { rounds: 8 }, 50)
+            .unwrap();
         let (traced, transcript) = Simulator::new(&g, 3)
             .run_traced(&FloodMax { rounds: 8 }, 50)
             .unwrap();
@@ -451,7 +912,79 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = SimulatorError::RoundLimitExceeded { limit: 3, pending: 2 };
+        let e = SimulatorError::RoundLimitExceeded {
+            limit: 3,
+            pending: 2,
+        };
         assert!(e.to_string().contains("round limit"));
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        use rand::SeedableRng;
+        let g = gen::gnp(120, 0.08, &mut rand::rngs::StdRng::seed_from_u64(4));
+        let proto = FloodMax { rounds: 9 };
+        let (serial, t_serial) = Simulator::new(&g, 5).run_traced(&proto, 100).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let sim = Simulator::new(&g, 5).with_parallelism(Parallelism::Threads(threads));
+            let (par, t_par) = sim.run_parallel_traced(&proto, 100).unwrap();
+            assert_eq!(par.metrics, serial.metrics, "threads={threads}");
+            assert_eq!(t_par.digest(), t_serial.digest(), "threads={threads}");
+            assert_eq!(t_par.entries(), t_serial.entries(), "threads={threads}");
+            let a: Vec<u64> = serial.states.iter().map(|s| s.best).collect();
+            let b: Vec<u64> = par.states.iter().map(|s| s.best).collect();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_reports_same_errors_as_serial() {
+        let g = gen::path(64);
+        let serial_err = Simulator::new(&g, 1).run(&Oversize, 3).unwrap_err();
+        let par_err = Simulator::new(&g, 1)
+            .with_parallelism(Parallelism::Threads(4))
+            .run_parallel(&Oversize, 3)
+            .unwrap_err();
+        assert_eq!(serial_err, par_err);
+
+        let serial_err = Simulator::new(&g, 1).run(&BadUnicast, 3).unwrap_err();
+        let par_err = Simulator::new(&g, 1)
+            .with_parallelism(Parallelism::Threads(4))
+            .run_parallel(&BadUnicast, 3)
+            .unwrap_err();
+        assert_eq!(serial_err, par_err);
+
+        let serial_err = Simulator::new(&g, 1)
+            .run(&FloodMax { rounds: 50 }, 5)
+            .unwrap_err();
+        let par_err = Simulator::new(&g, 1)
+            .with_parallelism(Parallelism::Threads(4))
+            .run_parallel(&FloodMax { rounds: 50 }, 5)
+            .unwrap_err();
+        assert_eq!(serial_err, par_err);
+    }
+
+    #[test]
+    fn parallel_serial_policy_delegates() {
+        let g = gen::cycle(20);
+        let run = Simulator::new(&g, 2)
+            .with_parallelism(Parallelism::Serial)
+            .run_parallel(&FloodMax { rounds: 5 }, 50)
+            .unwrap();
+        let serial = Simulator::new(&g, 2)
+            .run(&FloodMax { rounds: 5 }, 50)
+            .unwrap();
+        assert_eq!(run.metrics, serial.metrics);
+    }
+
+    #[test]
+    fn parallel_handles_tiny_graphs() {
+        // More threads than nodes: chunking must stay sound.
+        let g = gen::path(3);
+        let run = Simulator::new(&g, 1)
+            .with_parallelism(Parallelism::Threads(8))
+            .run_parallel(&FloodMax { rounds: 4 }, 50)
+            .unwrap();
+        assert!(run.states.iter().all(|s| s.best == 2));
     }
 }

@@ -242,7 +242,10 @@ pub fn arb_mis(g: &Graph, cfg: &ArbMisConfig) -> ArbMisOutcome {
         !in_mis[v] && g.neighbors(v).iter().all(|&u| !in_mis[u])
     };
     let residual_degree = |v: NodeId| -> usize {
-        g.neighbors(v).iter().filter(|&&u| shatter.active[u]).count()
+        g.neighbors(v)
+            .iter()
+            .filter(|&&u| shatter.active[u])
+            .count()
     };
     let vlo: Vec<bool> = (0..n)
         .map(|v| {
@@ -363,7 +366,10 @@ mod tests {
         ];
         for (g, alpha) in cases {
             let out = arb_mis(&g, &ArbMisConfig::new(alpha, 7));
-            assert!(check_mis(&g, &out.in_mis).is_ok(), "failed on {g} α={alpha}");
+            assert!(
+                check_mis(&g, &out.in_mis).is_ok(),
+                "failed on {g} α={alpha}"
+            );
             assert_eq!(out.rounds, out.phases.total());
         }
     }

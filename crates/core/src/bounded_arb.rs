@@ -18,8 +18,8 @@
 
 use crate::params::{ArbParams, ParamMode};
 use crate::trace::ScaleTrace;
-use arbmis_graph::{ActiveView, Graph, NodeId};
 use arbmis_congest::rng;
+use arbmis_graph::{ActiveView, Graph, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Randomness tag for priority draws (shared with the CONGEST protocol).
@@ -188,8 +188,7 @@ pub fn bounded_arb_independent_set(g: &Graph, cfg: &BoundedArbConfig) -> Shatter
     }
 
     let iterations = global_iter;
-    let rounds =
-        iterations * ROUNDS_PER_ITERATION + u64::from(params.theta) * ROUNDS_PER_SCALE_END;
+    let rounds = iterations * ROUNDS_PER_ITERATION + u64::from(params.theta) * ROUNDS_PER_SCALE_END;
     ShatterOutcome {
         in_mis,
         bad,

@@ -259,7 +259,10 @@ mod tests {
     fn rounds_grow_very_slowly() {
         let small = cv_color_to_six(&tree_forest(64, 7)).rounds;
         let large = cv_color_to_six(&tree_forest(50_000, 7)).rounds;
-        assert!(large <= small + 2, "log* growth violated: {small} -> {large}");
+        assert!(
+            large <= small + 2,
+            "log* growth violated: {small} -> {large}"
+        );
     }
 
     #[test]

@@ -100,9 +100,7 @@ impl HPartition {
         let n = g.n();
         // Rank nodes by (level, id): position = level * n + id is a strict
         // total order consistent with the peeling.
-        let position: Vec<usize> = (0..n)
-            .map(|v| self.level[v] as usize * n + v)
-            .collect();
+        let position: Vec<usize> = (0..n).map(|v| self.level[v] as usize * n + v).collect();
         Orientation::from_position(g, &position)
     }
 }
@@ -285,7 +283,9 @@ mod tests {
             gen::forest_union(250, 2, &mut r),
         ] {
             let hp = h_partition(&g, 3, 1.0).unwrap();
-            let proto = HPartitionProtocol { threshold: hp.threshold };
+            let proto = HPartitionProtocol {
+                threshold: hp.threshold,
+            };
             let run = arbmis_congest::Simulator::new(&g, 0)
                 .run(&proto, 10_000)
                 .unwrap();
@@ -304,7 +304,9 @@ mod tests {
     fn protocol_stalls_when_threshold_too_small() {
         let g = gen::complete(10);
         let proto = HPartitionProtocol { threshold: 3 };
-        let err = arbmis_congest::Simulator::new(&g, 0).run(&proto, 50).unwrap_err();
+        let err = arbmis_congest::Simulator::new(&g, 0)
+            .run(&proto, 50)
+            .unwrap_err();
         assert!(matches!(
             err,
             arbmis_congest::SimulatorError::RoundLimitExceeded { .. }

@@ -14,8 +14,8 @@
 //! exchanges exponents — `O(log log Δ)` bits.
 
 use crate::result::MisRun;
-use arbmis_graph::{ActiveView, Graph, NodeId};
 use arbmis_congest::rng;
+use arbmis_graph::{ActiveView, Graph, NodeId};
 
 /// Randomness tag for marking coins.
 pub const TAG_MARK: u64 = 0x4748_4146; // "GHAF"
@@ -126,7 +126,10 @@ mod tests {
         for g in graphs {
             for seed in 0..3 {
                 let run = run(&g, seed);
-                assert!(check_mis(&g, &run.in_mis).is_ok(), "failed on {g} seed {seed}");
+                assert!(
+                    check_mis(&g, &run.in_mis).is_ok(),
+                    "failed on {g} seed {seed}"
+                );
             }
         }
     }

@@ -13,7 +13,12 @@ use arbmis_graph::{ActiveView, NodeId};
 
 /// Number of active neighbors of `v` whose active degree exceeds the
 /// scale-`k` high-degree threshold.
-pub fn high_degree_neighbor_count(view: &ActiveView<'_>, params: &ArbParams, k: u32, v: NodeId) -> usize {
+pub fn high_degree_neighbor_count(
+    view: &ActiveView<'_>,
+    params: &ArbParams,
+    k: u32,
+    v: NodeId,
+) -> usize {
     let threshold = params.high_degree_threshold(k);
     view.active_neighbors(v)
         .filter(|&w| view.active_degree(w) as f64 > threshold)

@@ -7,8 +7,8 @@
 //! (Luby 1986; also Alon–Babai–Itai, Israeli–Itai).
 
 use crate::result::MisRun;
-use arbmis_graph::{ActiveView, Graph, NodeId};
 use arbmis_congest::rng;
+use arbmis_graph::{ActiveView, Graph, NodeId};
 
 /// Randomness tag for marking coins.
 pub const TAG_MARK: u64 = 0x4c55_4259; // "LUBY"
@@ -102,7 +102,10 @@ mod tests {
         for g in graphs {
             for seed in 0..3 {
                 let run = run(&g, seed);
-                assert!(check_mis(&g, &run.in_mis).is_ok(), "failed on {g} seed {seed}");
+                assert!(
+                    check_mis(&g, &run.in_mis).is_ok(),
+                    "failed on {g} seed {seed}"
+                );
             }
         }
     }

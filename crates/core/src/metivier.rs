@@ -11,8 +11,8 @@
 //! is deterministic in ≤ n iterations.
 
 use crate::result::MisRun;
-use arbmis_graph::{ActiveView, Graph, NodeId};
 use arbmis_congest::rng;
+use arbmis_graph::{ActiveView, Graph, NodeId};
 
 /// Randomness tag for priority draws (shared with the CONGEST protocol so
 /// both executions draw identical priorities).

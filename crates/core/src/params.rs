@@ -139,9 +139,12 @@ mod tests {
         let p = ArbParams::new(2, 1 << 20, ParamMode::Faithful { p: 1 });
         let a = 2f64;
         let ln_d = ((1u64 << 20) as f64).ln();
-        let expect =
-            (8.0 * a * a * (32.0 * a.powi(6) + 1.0) * (260.0 * a.powi(4) * ln_d * ln_d).ln())
-                .ceil() as u64;
+        let expect = (8.0
+            * a
+            * a
+            * (32.0 * a.powi(6) + 1.0)
+            * (260.0 * a.powi(4) * ln_d * ln_d).ln())
+        .ceil() as u64;
         assert_eq!(p.lambda, expect);
         assert!(p.lambda > 50_000, "faithful Λ is enormous by design");
     }

@@ -85,6 +85,31 @@ impl Message for MisMsg {
             }
         }
     }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        use arbmis_congest::message::{get_u8, get_varint};
+        let decode_flag = |buf: &mut &[u8]| match get_u8(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid("flag byte not 0/1")),
+        };
+        match get_u8(buf)? {
+            0 => Ok(MisMsg::Priority(get_varint(buf)?)),
+            1 => Ok(MisMsg::LubyMark {
+                degree: get_varint(buf)?,
+                marked: decode_flag(buf)?,
+            }),
+            2 => Ok(MisMsg::GhaffariMark {
+                exponent: u32::try_from(get_varint(buf)?)
+                    .map_err(|_| DecodeError::Invalid("exponent overflows u32"))?,
+                marked: decode_flag(buf)?,
+            }),
+            3 => Ok(MisMsg::Join(decode_flag(buf)?)),
+            4 => Ok(MisMsg::Exit(decode_flag(buf)?)),
+            5 => Ok(MisMsg::Degree(get_varint(buf)?)),
+            _ => Err(DecodeError::Invalid("unknown MisMsg tag")),
+        }
+    }
 }
 
 /// Common per-node bookkeeping for the three-phase skeleton.
@@ -242,9 +267,7 @@ impl Protocol for LubyProtocol {
                 } else if luby::is_marked(node.seed, node.id, iter, d) {
                     let key = (d as u64, node.id);
                     inbox.iter().all(|&(s, ref m)| match m {
-                        MisMsg::LubyMark { degree, marked } => {
-                            !*marked || (*degree, s) < key
-                        }
+                        MisMsg::LubyMark { degree, marked } => !*marked || (*degree, s) < key,
                         _ => true,
                     })
                 } else {
@@ -440,6 +463,57 @@ impl Protocol for BoundedArbProtocol {
     }
 }
 
+/// Runs a protocol twin over `g` on the parallel round engine, honoring
+/// the process-wide default [`arbmis_congest::Parallelism`].
+///
+/// This is the canonical entry point for executing the protocol twins in
+/// this module: results are bit-identical to the serial engine at every
+/// thread count (see `arbmis_congest::parallel`), so fast-path
+/// equivalence holds unchanged while large runs use all cores.
+///
+/// # Errors
+///
+/// Propagates [`SimulatorError`] from the engine.
+pub fn simulate<P>(
+    g: &arbmis_graph::Graph,
+    seed: u64,
+    protocol: &P,
+    max_rounds: u64,
+) -> Result<SimulatorRun<P::State>, SimulatorError>
+where
+    P: Protocol + Sync,
+    P::State: Send,
+    P::Msg: Send + Sync,
+{
+    Simulator::new(g, seed).run_parallel(protocol, max_rounds)
+}
+
+/// [`simulate`], additionally collecting a message transcript (identical
+/// to the serial engine's, digest included).
+///
+/// # Errors
+///
+/// Propagates [`SimulatorError`] from the engine.
+pub fn simulate_traced<P>(
+    g: &arbmis_graph::Graph,
+    seed: u64,
+    protocol: &P,
+    max_rounds: u64,
+) -> Result<
+    (
+        SimulatorRun<P::State>,
+        arbmis_congest::transcript::Transcript,
+    ),
+    SimulatorError,
+>
+where
+    P: Protocol + Sync,
+    P::State: Send,
+    P::Msg: Send + Sync,
+{
+    Simulator::new(g, seed).run_parallel_traced(protocol, max_rounds)
+}
+
 impl BoundedArbProtocol {
     fn my_priority(
         &self,
@@ -484,9 +558,7 @@ mod tests {
             (6, gen::cycle(40)),
         ] {
             let fast = metivier::run(&g, seed);
-            let run = Simulator::new(&g, seed)
-                .run(&MetivierProtocol, 10_000)
-                .unwrap();
+            let run = simulate(&g, seed, &MetivierProtocol, 10_000).unwrap();
             assert_eq!(extract_mis(&run.states), fast.in_mis, "graph {g}");
             assert!(run.metrics.within_budget(), "budget on {g}");
             assert!(check_mis(&g, &extract_mis(&run.states)).is_ok());
@@ -502,7 +574,7 @@ mod tests {
             (9, gen::barabasi_albert(100, 2, &mut r)),
         ] {
             let fast = luby::run(&g, seed);
-            let run = Simulator::new(&g, seed).run(&LubyProtocol, 10_000).unwrap();
+            let run = simulate(&g, seed, &LubyProtocol, 10_000).unwrap();
             assert_eq!(extract_mis(&run.states), fast.in_mis, "graph {g}");
             assert!(run.metrics.within_budget());
         }
@@ -517,9 +589,7 @@ mod tests {
             (13, gen::random_ktree(90, 2, &mut r)),
         ] {
             let fast = ghaffari::run(&g, seed);
-            let run = Simulator::new(&g, seed)
-                .run(&GhaffariProtocol, 20_000)
-                .unwrap();
+            let run = simulate(&g, seed, &GhaffariProtocol, 20_000).unwrap();
             assert_eq!(extract_mis(&run.states), fast.in_mis, "graph {g}");
             assert!(run.metrics.within_budget());
         }
@@ -539,9 +609,7 @@ mod tests {
                 params: fast.params,
                 rho_cutoff: true,
             };
-            let run = Simulator::new(&g, seed)
-                .run(&proto, proto.total_rounds() + 2)
-                .unwrap();
+            let run = simulate(&g, seed, &proto, proto.total_rounds() + 2).unwrap();
             let mis: Vec<bool> = run.states.iter().map(|s| s.in_mis).collect();
             let bad: Vec<bool> = run.states.iter().map(|s| s.bad).collect();
             let active: Vec<bool> = run.states.iter().map(|s| s.active).collect();
@@ -565,9 +633,7 @@ mod tests {
             params: fast.params,
             rho_cutoff: false,
         };
-        let run = Simulator::new(&g, 31)
-            .run(&proto, proto.total_rounds() + 2)
-            .unwrap();
+        let run = simulate(&g, 31, &proto, proto.total_rounds() + 2).unwrap();
         assert_eq!(
             run.states.iter().map(|s| s.in_mis).collect::<Vec<_>>(),
             fast.in_mis
@@ -582,7 +648,7 @@ mod tests {
     fn message_sizes_are_logarithmic() {
         let mut r = rng(5);
         let g = gen::gnp(200, 0.05, &mut r);
-        let run = Simulator::new(&g, 31).run(&MetivierProtocol, 10_000).unwrap();
+        let run = simulate(&g, 31, &MetivierProtocol, 10_000).unwrap();
         let budget = Simulator::new(&g, 31).budget_bits().unwrap();
         assert!(run.metrics.max_message_bits <= budget);
         // Priorities dominate: 4·⌈log₂ 200⌉ = 32 bits ≈ 5 bytes + tag.
@@ -592,7 +658,7 @@ mod tests {
     #[test]
     fn protocol_on_empty_graph() {
         let g = Graph::empty(5);
-        let run = Simulator::new(&g, 1).run(&MetivierProtocol, 100).unwrap();
+        let run = simulate(&g, 1, &MetivierProtocol, 100).unwrap();
         assert!(extract_mis(&run.states).iter().all(|&b| b));
     }
 
@@ -601,8 +667,14 @@ mod tests {
         let msgs = [
             MisMsg::Priority(0),
             MisMsg::Priority(u64::MAX >> 4),
-            MisMsg::LubyMark { degree: 5, marked: true },
-            MisMsg::GhaffariMark { exponent: 3, marked: false },
+            MisMsg::LubyMark {
+                degree: 5,
+                marked: true,
+            },
+            MisMsg::GhaffariMark {
+                exponent: 3,
+                marked: false,
+            },
             MisMsg::Join(true),
             MisMsg::Exit(false),
             MisMsg::Degree(1000),

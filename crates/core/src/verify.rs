@@ -47,8 +47,7 @@ impl std::error::Error for MisError {}
 
 /// `true` iff no two set members are adjacent.
 pub fn is_independent(g: &Graph, in_set: &[bool]) -> bool {
-    in_set.len() == g.n()
-        && g.edges().all(|(u, v)| !(in_set[u] && in_set[v]))
+    in_set.len() == g.n() && g.edges().all(|(u, v)| !(in_set[u] && in_set[v]))
 }
 
 /// `true` iff every non-member has a member neighbor.
@@ -102,12 +101,9 @@ pub fn is_mis_of_region(g: &Graph, in_set: &[bool], region: &[bool]) -> bool {
         return false;
     }
     // Every region node must be dominated within the region.
-    g.nodes().filter(|&v| region[v]).all(|v| {
-        in_set[v]
-            || g.neighbors(v)
-                .iter()
-                .any(|&u| region[u] && in_set[u])
-    })
+    g.nodes()
+        .filter(|&v| region[v])
+        .all(|v| in_set[v] || g.neighbors(v).iter().any(|&u| region[u] && in_set[u]))
 }
 
 #[cfg(test)]
@@ -149,7 +145,10 @@ mod tests {
         let g = gen::path(3);
         assert_eq!(
             check_mis(&g, &[true]),
-            Err(MisError::WrongLength { got: 1, expected: 3 })
+            Err(MisError::WrongLength {
+                got: 1,
+                expected: 3
+            })
         );
         assert!(!is_independent(&g, &[true]));
         assert!(!is_maximal(&g, &[true]));
@@ -193,7 +192,10 @@ mod tests {
         for e in [
             MisError::NotIndependent { u: 0, v: 1 },
             MisError::NotMaximal { v: 2 },
-            MisError::WrongLength { got: 1, expected: 2 },
+            MisError::WrongLength {
+                got: 1,
+                expected: 2,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -102,10 +102,7 @@ mod tests {
     #[test]
     fn pendant_on_clique() {
         // K4 with a pendant node: clique nodes coreness 3, pendant 1.
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
-        );
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
         let cd = core_decomposition(&g);
         assert_eq!(cd.coreness[4], 1);
         assert!((0..4).all(|v| cd.coreness[v] == 3));
@@ -119,11 +116,14 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let g = gen::gnp(300, 0.05, &mut rng);
         let cd = core_decomposition(&g);
-        assert_eq!(cd.coreness.iter().copied().max().unwrap_or(0), cd.degeneracy);
+        assert_eq!(
+            cd.coreness.iter().copied().max().unwrap_or(0),
+            cd.degeneracy
+        );
     }
 
     #[test]
-    fn core_property_minimum_degree(){
+    fn core_property_minimum_degree() {
         // Every node of the k-core has ≥ k neighbors inside the k-core.
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let g = gen::gnp(200, 0.06, &mut rng);

@@ -53,7 +53,9 @@ impl RootedForest {
 
     /// Nodes with no parent (roots, including isolated nodes).
     pub fn roots(&self) -> Vec<NodeId> {
-        (0..self.n()).filter(|&v| self.parent[v].is_none()).collect()
+        (0..self.n())
+            .filter(|&v| self.parent[v].is_none())
+            .collect()
     }
 
     /// Children lists (inverse of the parent map).

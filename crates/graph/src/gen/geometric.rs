@@ -15,7 +15,9 @@ use rand::Rng;
 /// Panics if `radius` is not positive and finite.
 pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Graph {
     assert!(radius > 0.0 && radius.is_finite(), "bad radius {radius}");
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let cell = radius.max(1e-9);
     let cells_per_side = (1.0 / cell).ceil().max(1.0) as i64;
     let key = |x: f64, y: f64| -> (i64, i64) {
@@ -24,7 +26,8 @@ pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> 
             ((y / cell) as i64).min(cells_per_side - 1),
         )
     };
-    let mut grid: std::collections::HashMap<(i64, i64), Vec<NodeId>> = std::collections::HashMap::new();
+    let mut grid: std::collections::HashMap<(i64, i64), Vec<NodeId>> =
+        std::collections::HashMap::new();
     for (v, &(x, y)) in pts.iter().enumerate() {
         grid.entry(key(x, y)).or_default().push(v);
     }
@@ -132,10 +135,10 @@ pub fn powerlaw_cluster<R: Rng + ?Sized>(
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * m * n);
     let link = |b: &mut GraphBuilder,
-                    adj: &mut Vec<Vec<NodeId>>,
-                    endpoints: &mut Vec<NodeId>,
-                    u: NodeId,
-                    v: NodeId|
+                adj: &mut Vec<Vec<NodeId>>,
+                endpoints: &mut Vec<NodeId>,
+                u: NodeId,
+                v: NodeId|
      -> bool {
         if u == v || adj[u].contains(&v) {
             return false;
@@ -190,7 +193,9 @@ mod tests {
         assert!(check_well_formed(&g).is_ok());
         // Rebuild brute force with the same RNG stream.
         let mut r2 = rng(1);
-        let pts: Vec<(f64, f64)> = (0..150).map(|_| (r2.gen::<f64>(), r2.gen::<f64>())).collect();
+        let pts: Vec<(f64, f64)> = (0..150)
+            .map(|_| (r2.gen::<f64>(), r2.gen::<f64>()))
+            .collect();
         for u in 0..150usize {
             for v in (u + 1)..150 {
                 let (dx, dy) = (pts[u].0 - pts[v].0, pts[u].1 - pts[v].1);

@@ -80,7 +80,10 @@ pub fn random_bipartite<R: Rng + ?Sized>(a: usize, b_size: usize, p: f64, rng: &
 /// Panics if `n * d` is odd or `d >= n`, which make a simple `d`-regular
 /// graph impossible.
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!((n * d).is_multiple_of(2), "n*d must be even for a d-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a d-regular graph"
+    );
     assert!(d < n, "d must be < n");
     if d == 0 || n == 0 {
         return Graph::empty(n);

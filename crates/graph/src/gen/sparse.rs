@@ -132,10 +132,15 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
         endpoints.push(v);
     }
     for v in (m + 1)..n {
-        let mut targets = std::collections::HashSet::with_capacity(m);
+        // Dedup with an order-preserving Vec, not a HashSet: iterating a
+        // HashSet feeds hash order back into `endpoints`, making the graph
+        // differ across processes (std's hasher is randomly seeded).
+        let mut targets: Vec<NodeId> = Vec::with_capacity(m);
         while targets.len() < m {
             let t = endpoints[rng.gen_range(0..endpoints.len())];
-            targets.insert(t);
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
         }
         for &t in &targets {
             b.add_edge(v, t);
@@ -182,10 +187,7 @@ mod tests {
         for alpha in 1..=4 {
             let g = forest_union(400, alpha, &mut rng(alpha as u64));
             let d = arboricity::degeneracy(&g);
-            assert!(
-                d < 2 * alpha,
-                "degeneracy {d} exceeds 2α-1 for α={alpha}"
-            );
+            assert!(d < 2 * alpha, "degeneracy {d} exceeds 2α-1 for α={alpha}");
             assert!(g.m() <= alpha * 399);
         }
     }

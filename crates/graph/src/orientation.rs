@@ -134,7 +134,11 @@ impl Orientation {
         let mut out_degree = vec![0usize; n];
         let mut in_degree = vec![0usize; n];
         for (u, v) in g.edges() {
-            let (src, dst) = if position[u] < position[v] { (u, v) } else { (v, u) };
+            let (src, dst) = if position[u] < position[v] {
+                (u, v)
+            } else {
+                (v, u)
+            };
             out_degree[src] += 1;
             in_degree[dst] += 1;
         }
@@ -151,7 +155,11 @@ impl Orientation {
         let mut out_cursor = out_offsets[..n].to_vec();
         let mut in_cursor = in_offsets[..n].to_vec();
         for (u, v) in g.edges() {
-            let (src, dst) = if position[u] < position[v] { (u, v) } else { (v, u) };
+            let (src, dst) = if position[u] < position[v] {
+                (u, v)
+            } else {
+                (v, u)
+            };
             out_adj[out_cursor[src]] = dst;
             out_cursor[src] += 1;
             in_adj[in_cursor[dst]] = src;

@@ -80,7 +80,10 @@ pub fn check_well_formed(g: &Graph) -> Result<(), WellFormedError> {
         }
         for &v in nbrs {
             if v >= n {
-                return Err(WellFormedError::NeighborOutOfRange { node: u, neighbor: v });
+                return Err(WellFormedError::NeighborOutOfRange {
+                    node: u,
+                    neighbor: v,
+                });
             }
             if v == u {
                 return Err(WellFormedError::SelfLoop { node: u });
@@ -114,7 +117,10 @@ mod tests {
     fn error_display_nonempty() {
         let errs = [
             WellFormedError::BadOffsets,
-            WellFormedError::NeighborOutOfRange { node: 1, neighbor: 9 },
+            WellFormedError::NeighborOutOfRange {
+                node: 1,
+                neighbor: 9,
+            },
             WellFormedError::SelfLoop { node: 2 },
             WellFormedError::UnsortedAdjacency { node: 3 },
             WellFormedError::Asymmetric { u: 0, v: 1 },

@@ -35,7 +35,9 @@ pub fn conjunction_bound(p: f64, n: usize, k: usize) -> f64 {
 pub fn tail_form1(eps: f64, n: usize, k: usize) -> f64 {
     assert!(eps >= 0.0, "eps must be nonnegative");
     assert!(n > 0 && k > 0);
-    (-2.0 * eps * eps * n as f64 / k as f64).exp().clamp(0.0, 1.0)
+    (-2.0 * eps * eps * n as f64 / k as f64)
+        .exp()
+        .clamp(0.0, 1.0)
 }
 
 /// Theorem 1.2 form (2): `Pr[Y ≤ (1 − δ)·E[Y]] ≤ exp(−δ²·E[Y]/(2k))`.

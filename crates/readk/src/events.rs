@@ -179,7 +179,9 @@ impl<'a> EventScenario<'a> {
         let joins: Vec<bool> = (0..g.n())
             .map(|v| {
                 priorities[v] > 0
-                    && g.neighbors(v).iter().all(|&u| priorities[v] > priorities[u])
+                    && g.neighbors(v)
+                        .iter()
+                        .all(|&u| priorities[v] > priorities[u])
             })
             .collect();
         self.m_set
@@ -276,7 +278,11 @@ mod tests {
         // 1 has at most 2 children; beating c children has prob 1/(c+1).
         let c = o.children(1).len();
         let expect = 1.0 / (c as f64 + 1.0);
-        assert!(e.consistent_with(expect, 4.0), "p_hat {} expect {expect}", e.p_hat());
+        assert!(
+            e.consistent_with(expect, 4.0),
+            "p_hat {} expect {expect}",
+            e.p_hat()
+        );
     }
 
     #[test]

@@ -101,7 +101,12 @@ mod tests {
 
     #[test]
     fn distribution_sums_to_one() {
-        for (n, s, q) in [(5usize, 1usize, 0.3f64), (8, 2, 0.5), (10, 3, 0.7), (4, 4, 0.9)] {
+        for (n, s, q) in [
+            (5usize, 1usize, 0.3f64),
+            (8, 2, 0.5),
+            (10, 3, 0.7),
+            (4, 4, 0.9),
+        ] {
             let d = count_distribution(n, s, q);
             let total: f64 = d.iter().sum();
             assert!((total - 1.0).abs() < 1e-12, "n={n} s={s} q={q}: {total}");

@@ -147,7 +147,9 @@ pub fn sliding_window_family(
         .map(|j| (j * stride..j * stride + span).collect())
         .collect();
     let threshold = (threshold_frac * u64::MAX as f64) as u64;
-    ReadKFamily::new(m, deps, move |_j, vals| vals.iter().all(|&v| v >= threshold))
+    ReadKFamily::new(m, deps, move |_j, vals| {
+        vals.iter().all(|&v| v >= threshold)
+    })
 }
 
 #[cfg(test)]

@@ -29,6 +29,10 @@ pub mod exact;
 pub mod family;
 pub mod montecarlo;
 
-pub use bounds::{azuma_lower_tail, chernoff_lower_tail, conjunction_bound, tail_form1, tail_form2};
+pub use bounds::{
+    azuma_lower_tail, chernoff_lower_tail, conjunction_bound, tail_form1, tail_form2,
+};
 pub use family::ReadKFamily;
-pub use montecarlo::{estimate, estimate_mean, Estimate};
+pub use montecarlo::{
+    estimate, estimate_mean, estimate_mean_with_parallelism, estimate_with_parallelism, Estimate,
+};

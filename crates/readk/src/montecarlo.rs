@@ -1,6 +1,17 @@
 //! Seed-parallel Monte-Carlo estimation with Wilson confidence intervals.
+//!
+//! Thread counts route through [`arbmis_congest::Parallelism`] — the same
+//! policy object the CONGEST round engine uses — so one
+//! `set_default_parallelism` call (or the `experiments --threads` flag)
+//! governs both simulation and Monte-Carlo work. Estimates are
+//! trial-index-counter based and therefore identical at every thread
+//! count.
 
+use arbmis_congest::Parallelism;
 use serde::{Deserialize, Serialize};
+
+/// Hard cap on Monte-Carlo worker threads (diminishing returns beyond).
+const MAX_MC_THREADS: usize = 16;
 
 /// A binomial estimate: `successes` out of `trials`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,10 +73,16 @@ pub fn estimate<F>(trials: u64, event: F) -> Estimate
 where
     F: Fn(u64) -> bool + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .clamp(1, 16);
+    estimate_with_parallelism(trials, arbmis_congest::default_parallelism(), event)
+}
+
+/// [`estimate`] with an explicit thread-count policy. The result is
+/// identical at every setting; only wall-clock changes.
+pub fn estimate_with_parallelism<F>(trials: u64, parallelism: Parallelism, event: F) -> Estimate
+where
+    F: Fn(u64) -> bool + Sync,
+{
+    let threads = mc_threads(trials, parallelism);
     if trials < 256 || threads == 1 {
         let successes = (0..trials).filter(|&t| event(t)).count() as u64;
         return Estimate { trials, successes };
@@ -102,11 +119,21 @@ pub fn estimate_mean<F>(trials: u64, stat: F) -> (f64, f64)
 where
     F: Fn(u64) -> f64 + Sync,
 {
+    estimate_mean_with_parallelism(trials, arbmis_congest::default_parallelism(), stat)
+}
+
+/// [`estimate_mean`] with an explicit thread-count policy. The result is
+/// identical at every setting; only wall-clock changes.
+pub fn estimate_mean_with_parallelism<F>(
+    trials: u64,
+    parallelism: Parallelism,
+    stat: F,
+) -> (f64, f64)
+where
+    F: Fn(u64) -> f64 + Sync,
+{
     assert!(trials > 0, "need at least one trial");
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .clamp(1, 16);
+    let threads = mc_threads(trials, parallelism);
     let chunk = trials.div_ceil(threads as u64);
     let results = collect_parallel(trials, threads as u64, chunk, &stat);
     let n = trials as f64;
@@ -117,6 +144,12 @@ where
         0.0
     };
     (mean, var.sqrt())
+}
+
+/// Resolves a [`Parallelism`] policy to a Monte-Carlo worker count.
+fn mc_threads(trials: u64, parallelism: Parallelism) -> usize {
+    let cap = usize::try_from(trials).unwrap_or(usize::MAX).max(1);
+    parallelism.effective_threads(cap).min(MAX_MC_THREADS)
 }
 
 fn collect_parallel<F>(trials: u64, threads: u64, chunk: u64, stat: &F) -> Vec<f64>
@@ -148,8 +181,14 @@ mod tests {
 
     #[test]
     fn p_hat_and_merge() {
-        let a = Estimate { trials: 10, successes: 4 };
-        let b = Estimate { trials: 30, successes: 6 };
+        let a = Estimate {
+            trials: 10,
+            successes: 4,
+        };
+        let b = Estimate {
+            trials: 30,
+            successes: 6,
+        };
         assert!((a.p_hat() - 0.4).abs() < 1e-12);
         let m = a.merge(b);
         assert_eq!(m.trials, 40);
@@ -158,7 +197,10 @@ mod tests {
 
     #[test]
     fn wilson_interval_contains_p_hat() {
-        let e = Estimate { trials: 500, successes: 100 };
+        let e = Estimate {
+            trials: 500,
+            successes: 100,
+        };
         let (lo, hi) = e.wilson_ci(1.96);
         assert!(lo < e.p_hat() && e.p_hat() < hi);
         assert!(lo > 0.15 && hi < 0.25);
@@ -170,7 +212,10 @@ mod tests {
     fn wilson_degenerate_cases() {
         let empty = Estimate::default();
         assert_eq!(empty.wilson_ci(1.96), (0.0, 1.0));
-        let all = Estimate { trials: 100, successes: 100 };
+        let all = Estimate {
+            trials: 100,
+            successes: 100,
+        };
         let (lo, hi) = all.wilson_ci(1.96);
         assert!(lo > 0.9);
         assert!((hi - 1.0).abs() < 1e-12);
@@ -189,6 +234,30 @@ mod tests {
         let a = estimate(5_000, f);
         let b = estimate(5_000, f);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn estimate_identical_at_every_thread_count() {
+        let f = |t: u64| rng::draw(5, 2, t, 0).is_multiple_of(7);
+        let baseline = estimate_with_parallelism(4_096, Parallelism::Serial, f);
+        for threads in [1, 2, 4, 8] {
+            let e = estimate_with_parallelism(4_096, Parallelism::Threads(threads), f);
+            assert_eq!(e, baseline, "threads={threads}");
+        }
+        let auto = estimate_with_parallelism(4_096, Parallelism::Auto, f);
+        assert_eq!(auto, baseline);
+    }
+
+    #[test]
+    fn estimate_mean_identical_at_every_thread_count() {
+        let f = |t: u64| rng::draw_unit(13, 0, t, 0);
+        let (mean0, sd0) = estimate_mean_with_parallelism(2_048, Parallelism::Serial, f);
+        for threads in [2, 4, 8] {
+            let (mean, sd) =
+                estimate_mean_with_parallelism(2_048, Parallelism::Threads(threads), f);
+            assert_eq!(mean.to_bits(), mean0.to_bits(), "threads={threads}");
+            assert_eq!(sd.to_bits(), sd0.to_bits(), "threads={threads}");
+        }
     }
 
     #[test]

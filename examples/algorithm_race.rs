@@ -22,7 +22,10 @@ fn main() {
         GraphFamily::GnpAvgDegree { d: 8.0 },
     ];
 
-    println!("CONGEST rounds to a complete MIS, n = {n}, mean over {} seeds", seeds.len());
+    println!(
+        "CONGEST rounds to a complete MIS, n = {n}, mean over {} seeds",
+        seeds.len()
+    );
     println!(
         "{:>18} {:>3} {:>8} {:>8} {:>10} {:>10}",
         "family", "α", "luby", "metivier", "ghaffari", "arbmis"

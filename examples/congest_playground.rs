@@ -34,12 +34,16 @@ fn main() {
     print_row("metivier", &run.metrics, mis == fast.in_mis);
     // Luby.
     let fast = luby::run(&g, seed);
-    let run = Simulator::new(&g, seed).run(&LubyProtocol, 100_000).unwrap();
+    let run = Simulator::new(&g, seed)
+        .run(&LubyProtocol, 100_000)
+        .unwrap();
     let mis: Vec<bool> = run.states.iter().map(|s| s.in_mis).collect();
     print_row("luby", &run.metrics, mis == fast.in_mis);
     // Ghaffari.
     let fast = ghaffari::run(&g, seed);
-    let run = Simulator::new(&g, seed).run(&GhaffariProtocol, 100_000).unwrap();
+    let run = Simulator::new(&g, seed)
+        .run(&GhaffariProtocol, 100_000)
+        .unwrap();
     let mis: Vec<bool> = run.states.iter().map(|s| s.in_mis).collect();
     print_row("ghaffari", &run.metrics, mis == fast.in_mis);
 
@@ -49,7 +53,10 @@ fn main() {
     for (r, c) in profile.iter().take(12).enumerate() {
         println!("  round {r:>2}: {c:>6} messages");
     }
-    println!("  trace digest: {:#018x} (stable across reruns)", transcript.digest());
+    println!(
+        "  trace digest: {:#018x} (stable across reruns)",
+        transcript.digest()
+    );
 
     // Substrate primitives.
     println!("\nsubstrate primitives on the same graph:");

@@ -32,7 +32,10 @@ fn main() {
 
     println!("MIS size: {} nodes", outcome.mis_size());
     println!("total CONGEST rounds: {}", outcome.rounds);
-    println!("  degree reduction : {:>6}", outcome.phases.degree_reduction);
+    println!(
+        "  degree reduction : {:>6}",
+        outcome.phases.degree_reduction
+    );
     println!("  shattering       : {:>6}", outcome.phases.shattering);
     println!("  V_lo finishing   : {:>6}", outcome.phases.vlo);
     println!("  V_hi finishing   : {:>6}", outcome.phases.vhi);
@@ -41,7 +44,12 @@ fn main() {
         "bad set: {} nodes in {} components (largest {})",
         outcome.shatter.bad_size(),
         outcome.bad_component_sizes.len(),
-        outcome.bad_component_sizes.iter().max().copied().unwrap_or(0)
+        outcome
+            .bad_component_sizes
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0)
     );
 
     // Reference: the sequential greedy MIS (sizes are not comparable in

@@ -43,7 +43,11 @@ fn synthetic_conjunction() {
             p,
             est.p_hat(),
             bound,
-            if est.p_hat() <= bound + 0.01 { "  ✓" } else { "  ✗ VIOLATION" }
+            if est.p_hat() <= bound + 0.01 {
+                "  ✓"
+            } else {
+                "  ✗ VIOLATION"
+            }
         );
     }
     println!();

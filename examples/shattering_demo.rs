@@ -39,7 +39,11 @@ fn main() {
         sizes.sort_unstable();
         let active: usize = sizes.iter().sum();
         let largest = sizes.last().copied().unwrap_or(0);
-        let median = if sizes.is_empty() { 0 } else { sizes[sizes.len() / 2] };
+        let median = if sizes.is_empty() {
+            0
+        } else {
+            sizes[sizes.len() / 2]
+        };
         println!(
             "{:>5} {:>9} {:>12} {:>14} {:>12}",
             it,
@@ -68,7 +72,13 @@ fn main() {
     for t in &out.trace {
         println!(
             "{:>5} {:>12.1} {:>10} {:>9} {:>11} {:>7} {:>10} {:>8}",
-            t.k, t.rho, t.active_start, t.joined, t.eliminated, t.bad_marked, t.active_end,
+            t.k,
+            t.rho,
+            t.active_start,
+            t.joined,
+            t.eliminated,
+            t.bad_marked,
+            t.active_end,
             t.max_active_degree_end
         );
     }

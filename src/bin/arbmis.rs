@@ -119,7 +119,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             if algo == "treemis" && !arbmis::graph::traversal::is_forest(&g) {
-                eprintln!("error: treemis requires a forest; this graph has a cycle (use --algo arbmis)");
+                eprintln!(
+                    "error: treemis requires a forest; this graph has a cycle (use --algo arbmis)"
+                );
                 return ExitCode::FAILURE;
             }
             let (in_mis, rounds) = match algo {
@@ -153,9 +155,7 @@ fn main() -> ExitCode {
             match check_mis(&g, &in_mis) {
                 Ok(()) => {
                     let size = in_mis.iter().filter(|&&b| b).count();
-                    println!(
-                        "{algo} on {g}: MIS size {size}, {rounds} CONGEST rounds, verified ✓"
-                    );
+                    println!("{algo} on {g}: MIS size {size}, {rounds} CONGEST rounds, verified ✓");
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

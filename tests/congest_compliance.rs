@@ -24,9 +24,18 @@ fn all_protocols_within_budget_across_families() {
     ];
     for fam in families {
         let g = graph(fam, 400, 5);
-        let m1 = Simulator::new(&g, 1).run(&MetivierProtocol, 50_000).unwrap().metrics;
-        let m2 = Simulator::new(&g, 1).run(&LubyProtocol, 50_000).unwrap().metrics;
-        let m3 = Simulator::new(&g, 1).run(&GhaffariProtocol, 100_000).unwrap().metrics;
+        let m1 = Simulator::new(&g, 1)
+            .run(&MetivierProtocol, 50_000)
+            .unwrap()
+            .metrics;
+        let m2 = Simulator::new(&g, 1)
+            .run(&LubyProtocol, 50_000)
+            .unwrap()
+            .metrics;
+        let m3 = Simulator::new(&g, 1)
+            .run(&GhaffariProtocol, 100_000)
+            .unwrap()
+            .metrics;
         for (name, m) in [("metivier", m1), ("luby", m2), ("ghaffari", m3)] {
             assert!(m.within_budget(), "{name} on {fam}: {m:?}");
             assert!(m.max_message_bits > 0);
@@ -46,7 +55,9 @@ fn bounded_arb_protocol_within_budget() {
         params: fast.params,
         rho_cutoff: true,
     };
-    let run = Simulator::new(&g, 2).run(&proto, proto.total_rounds() + 2).unwrap();
+    let run = Simulator::new(&g, 2)
+        .run(&proto, proto.total_rounds() + 2)
+        .unwrap();
     assert!(run.metrics.within_budget());
     // Degree announcements are the largest payloads; still O(log n).
     assert!(run.metrics.max_message_bits <= Simulator::new(&g, 2).budget_bits().unwrap());
@@ -74,6 +85,13 @@ fn oversized_messages_rejected() {
         fn encode(&self, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&[0u8; 512]);
         }
+        fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+            if buf.len() < 512 {
+                return Err(DecodeError::UnexpectedEof);
+            }
+            *buf = &buf[512..];
+            Ok(Fat)
+        }
     }
     struct FatProto;
     impl Protocol for FatProto {
@@ -95,7 +113,9 @@ fn oversized_messages_rejected() {
 #[test]
 fn message_counts_bounded_by_rounds_times_edges() {
     let g = graph(GraphFamily::ForestUnion { alpha: 2 }, 300, 9);
-    let run = Simulator::new(&g, 4).run(&MetivierProtocol, 50_000).unwrap();
+    let run = Simulator::new(&g, 4)
+        .run(&MetivierProtocol, 50_000)
+        .unwrap();
     let cap = run.metrics.rounds * 2 * g.m() as u64;
     assert!(run.metrics.messages <= cap);
 }

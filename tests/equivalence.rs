@@ -24,7 +24,9 @@ fn metivier_equivalence_across_families() {
         let g = GraphSpec::new(fam, 150).generate(&mut rng);
         for seed in 0..3 {
             let fast = metivier::run(&g, seed);
-            let run = Simulator::new(&g, seed).run(&MetivierProtocol, 50_000).unwrap();
+            let run = Simulator::new(&g, seed)
+                .run(&MetivierProtocol, 50_000)
+                .unwrap();
             let mis: Vec<bool> = run.states.iter().map(|s| s.in_mis).collect();
             assert_eq!(mis, fast.in_mis, "{fam} seed {seed}");
         }
@@ -52,7 +54,9 @@ fn ghaffari_equivalence_across_families() {
         let g = GraphSpec::new(fam, 120).generate(&mut rng);
         for seed in 0..3 {
             let fast = ghaffari::run(&g, seed);
-            let run = Simulator::new(&g, seed).run(&GhaffariProtocol, 100_000).unwrap();
+            let run = Simulator::new(&g, seed)
+                .run(&GhaffariProtocol, 100_000)
+                .unwrap();
             let mis: Vec<bool> = run.states.iter().map(|s| s.in_mis).collect();
             assert_eq!(mis, fast.in_mis, "{fam} seed {seed}");
         }
@@ -100,7 +104,9 @@ fn protocol_round_counts_track_fast_path() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(25);
     let g = GraphSpec::new(GraphFamily::ForestUnion { alpha: 2 }, 200).generate(&mut rng);
     let fast = metivier::run(&g, 9);
-    let run = Simulator::new(&g, 9).run(&MetivierProtocol, 50_000).unwrap();
+    let run = Simulator::new(&g, 9)
+        .run(&MetivierProtocol, 50_000)
+        .unwrap();
     let lower = fast.iterations * 3;
     assert!(
         (lower..=lower + 4).contains(&run.metrics.rounds),

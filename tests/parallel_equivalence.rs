@@ -1,0 +1,192 @@
+//! Differential tests for the parallel round engine: for every protocol,
+//! seed, and thread count, `run_parallel_traced` must be bit-identical to
+//! the serial `run_traced` — transcript digests, per-message transcript
+//! entries, metrics, and final node states all agree.
+//!
+//! This is the executable form of the determinism contract documented in
+//! `arbmis::congest::parallel` (and DESIGN.md): thread count is a pure
+//! wall-clock knob, never an observable.
+
+use arbmis::congest::{Parallelism, Protocol, Simulator};
+use arbmis::core::bounded_arb::{bounded_arb_independent_set, BoundedArbConfig};
+use arbmis::core::forest_decomp::HPartitionProtocol;
+use arbmis::core::protocols::*;
+use arbmis::graph::gen::{GraphFamily, GraphSpec};
+use rand::SeedableRng;
+
+/// Thread counts exercised by every differential case (1 covers the
+/// serial-delegation fast path).
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn graph(fam: GraphFamily, n: usize, seed: u64) -> arbmis::graph::Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    GraphSpec::new(fam, n).generate(&mut rng)
+}
+
+/// Runs `proto` serially and at every thread count in [`THREADS`],
+/// asserting identical transcripts, metrics, and projected states.
+fn assert_differential<P, K>(
+    g: &arbmis::graph::Graph,
+    seed: u64,
+    proto: &P,
+    max_rounds: u64,
+    label: &str,
+    project: impl Fn(&P::State) -> K,
+) where
+    P: Protocol + Sync,
+    P::State: Send,
+    P::Msg: Send + Sync,
+    K: PartialEq + std::fmt::Debug,
+{
+    let (serial, t_serial) = Simulator::new(g, seed)
+        .with_parallelism(Parallelism::Serial)
+        .run_traced(proto, max_rounds)
+        .unwrap_or_else(|e| panic!("{label}: serial run failed: {e}"));
+    let serial_out: Vec<K> = serial.states.iter().map(&project).collect();
+    for threads in THREADS {
+        let (par, t_par) = Simulator::new(g, seed)
+            .with_parallelism(Parallelism::Threads(threads))
+            .run_parallel_traced(proto, max_rounds)
+            .unwrap_or_else(|e| panic!("{label}: parallel run ({threads} threads) failed: {e}"));
+        assert_eq!(
+            t_par.digest(),
+            t_serial.digest(),
+            "{label}: transcript digest diverged at {threads} threads"
+        );
+        assert_eq!(
+            t_par.entries(),
+            t_serial.entries(),
+            "{label}: transcript entries diverged at {threads} threads"
+        );
+        assert_eq!(
+            par.metrics, serial.metrics,
+            "{label}: metrics diverged at {threads} threads"
+        );
+        let par_out: Vec<K> = par.states.iter().map(&project).collect();
+        assert_eq!(
+            par_out, serial_out,
+            "{label}: node states diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn metivier_parallel_differential() {
+    for (fam, n) in [
+        (GraphFamily::RandomTree, 150),
+        (GraphFamily::GnpAvgDegree { d: 5.0 }, 150),
+    ] {
+        let g = graph(fam, n, 31);
+        for seed in 0..3 {
+            assert_differential(&g, seed, &MetivierProtocol, 50_000, "metivier", |s| {
+                (s.in_mis, s.active)
+            });
+        }
+    }
+}
+
+#[test]
+fn luby_parallel_differential() {
+    for (fam, n) in [
+        (GraphFamily::ForestUnion { alpha: 2 }, 150),
+        (GraphFamily::BarabasiAlbert { m: 2 }, 150),
+    ] {
+        let g = graph(fam, n, 32);
+        for seed in 0..3 {
+            assert_differential(&g, seed, &LubyProtocol, 50_000, "luby", |s| {
+                (s.in_mis, s.active)
+            });
+        }
+    }
+}
+
+#[test]
+fn ghaffari_parallel_differential() {
+    let g = graph(GraphFamily::GnpAvgDegree { d: 6.0 }, 120, 33);
+    for seed in 0..3 {
+        assert_differential(&g, seed, &GhaffariProtocol, 100_000, "ghaffari", |s| {
+            (s.in_mis, s.active)
+        });
+    }
+}
+
+#[test]
+fn bounded_arb_parallel_differential() {
+    for (fam, alpha) in [
+        (GraphFamily::ForestUnion { alpha: 2 }, 2),
+        (GraphFamily::Apollonian, 3),
+    ] {
+        let g = graph(fam, 150, 34);
+        for seed in 0..2 {
+            let cfg = BoundedArbConfig::new(alpha, seed);
+            let fast = bounded_arb_independent_set(&g, &cfg);
+            let proto = BoundedArbProtocol {
+                params: fast.params,
+                rho_cutoff: true,
+            };
+            assert_differential(
+                &g,
+                seed,
+                &proto,
+                proto.total_rounds() + 2,
+                "bounded_arb",
+                |s| (s.in_mis, s.bad, s.active),
+            );
+        }
+    }
+}
+
+#[test]
+fn h_partition_parallel_differential() {
+    let g = graph(GraphFamily::Apollonian, 200, 35);
+    let proto = HPartitionProtocol { threshold: 9 };
+    for seed in 0..2 {
+        assert_differential(&g, seed, &proto, 10_000, "h_partition", |s| s.level);
+    }
+}
+
+/// The parallel engine must still reproduce the fast paths bit-for-bit:
+/// (fast path == serial twin) ∧ (serial twin == parallel twin) composed
+/// end-to-end, at the highest thread count.
+#[test]
+fn parallel_twins_match_fast_paths() {
+    use arbmis::core::{luby, metivier};
+
+    let g = graph(GraphFamily::GnpAvgDegree { d: 5.0 }, 150, 36);
+    for seed in 0..2 {
+        let sim = Simulator::new(&g, seed).with_parallelism(Parallelism::Threads(8));
+        let fast = metivier::run(&g, seed);
+        let run = sim.run_parallel(&MetivierProtocol, 50_000).unwrap();
+        let mis: Vec<bool> = run.states.iter().map(|s| s.in_mis).collect();
+        assert_eq!(mis, fast.in_mis, "metivier seed {seed}");
+        assert!(arbmis::core::check_mis(&g, &mis).is_ok());
+
+        let fast = luby::run(&g, seed);
+        let run = sim.run_parallel(&LubyProtocol, 50_000).unwrap();
+        let mis: Vec<bool> = run.states.iter().map(|s| s.in_mis).collect();
+        assert_eq!(mis, fast.in_mis, "luby seed {seed}");
+        assert!(arbmis::core::check_mis(&g, &mis).is_ok());
+    }
+}
+
+/// `Parallelism::Auto` (whatever the host core count) agrees with serial
+/// too — the contract holds for the default configuration, not just the
+/// pinned thread counts above.
+#[test]
+fn auto_parallelism_matches_serial() {
+    let g = graph(GraphFamily::RandomTree, 180, 37);
+    let (serial, t_serial) = Simulator::new(&g, 11)
+        .with_parallelism(Parallelism::Serial)
+        .run_traced(&MetivierProtocol, 50_000)
+        .unwrap();
+    let (auto, t_auto) = Simulator::new(&g, 11)
+        .with_parallelism(Parallelism::Auto)
+        .run_parallel_traced(&MetivierProtocol, 50_000)
+        .unwrap();
+    assert_eq!(t_auto.digest(), t_serial.digest());
+    assert_eq!(auto.metrics, serial.metrics);
+    assert_eq!(
+        auto.states.iter().map(|s| s.in_mis).collect::<Vec<_>>(),
+        serial.states.iter().map(|s| s.in_mis).collect::<Vec<_>>(),
+    );
+}

@@ -1,8 +1,8 @@
 //! End-to-end integration: the full ArbMIS pipeline across every workload
 //! family, seeds, and parameter modes.
 
-use arbmis::core::{arb_mis, check_mis, ArbMisConfig};
 use arbmis::core::params::ParamMode;
+use arbmis::core::{arb_mis, check_mis, ArbMisConfig};
 use arbmis::graph::gen::{GraphFamily, GraphSpec};
 use rand::SeedableRng;
 
@@ -31,8 +31,7 @@ fn arbmis_is_valid_on_every_family() {
         let g = GraphSpec::new(fam, 1_500).generate(&mut rng);
         for seed in 0..3 {
             let out = arb_mis(&g, &ArbMisConfig::new(alpha, seed));
-            check_mis(&g, &out.in_mis)
-                .unwrap_or_else(|e| panic!("{fam} seed {seed}: {e}"));
+            check_mis(&g, &out.in_mis).unwrap_or_else(|e| panic!("{fam} seed {seed}: {e}"));
         }
     }
 }
@@ -56,7 +55,9 @@ fn faithful_and_practical_modes_both_valid() {
     for mode in [
         ParamMode::Faithful { p: 1 },
         ParamMode::Practical { lambda_scale: 1.0 },
-        ParamMode::Practical { lambda_scale: 0.001 },
+        ParamMode::Practical {
+            lambda_scale: 0.001,
+        },
     ] {
         let cfg = ArbMisConfig {
             mode,

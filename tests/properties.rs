@@ -1,22 +1,27 @@
 //! Property-based integration tests (proptest): algorithm correctness and
 //! substrate invariants over arbitrary random graphs.
 
+use arbmis::congest::message::{self, DecodeError, Message};
+use arbmis::congest::{
+    Inbox, NodeInfo, Outgoing, Parallelism, Protocol, Simulator, SimulatorError,
+};
+use arbmis::core::protocols::MisMsg;
 use arbmis::core::{arb_mis, check_mis, ghaffari, greedy, luby, metivier, ArbMisConfig};
 use arbmis::graph::orientation::{degeneracy_ordering, Orientation};
 use arbmis::graph::{arboricity, forest, gen, props, traversal, Graph};
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 /// Strategy: an arbitrary simple graph from a random edge list.
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n), 0..max_m)
-            .prop_map(move |pairs| {
-                let mut b = arbmis::graph::GraphBuilder::new(n);
-                for (u, v) in pairs {
-                    b.try_add_edge(u, v);
-                }
-                b.build()
-            })
+        proptest::collection::vec((0..n, 0..n), 0..max_m).prop_map(move |pairs| {
+            let mut b = arbmis::graph::GraphBuilder::new(n);
+            for (u, v) in pairs {
+                b.try_add_edge(u, v);
+            }
+            b.build()
+        })
     })
 }
 
@@ -127,6 +132,170 @@ proptest! {
             .filter(|&(u, v)| mask[u] && mask[v])
             .count();
         prop_assert_eq!(sub.graph().m(), expected);
+    }
+}
+
+// ------------------------------------------------------------ wire format
+
+/// Strategy: an arbitrary [`MisMsg`] across all six variants.
+fn arb_mis_msg() -> impl Strategy<Value = MisMsg> {
+    (0u8..6, 0u64..u64::MAX, 0u32..u32::MAX, 0u8..2).prop_map(|(tag, x, e, f)| {
+        let flag = f == 1;
+        match tag {
+            0 => MisMsg::Priority(x),
+            1 => MisMsg::LubyMark {
+                degree: x,
+                marked: flag,
+            },
+            2 => MisMsg::GhaffariMark {
+                exponent: e,
+                marked: flag,
+            },
+            3 => MisMsg::Join(flag),
+            4 => MisMsg::Exit(flag),
+            _ => MisMsg::Degree(x),
+        }
+    })
+}
+
+fn roundtrips<M: Message + PartialEq>(m: &M) -> Result<(), TestCaseError> {
+    let mut buf = Vec::new();
+    m.encode(&mut buf);
+    let decoded = M::decode_all(&buf);
+    prop_assert_eq!(decoded.as_ref(), Ok(m));
+    prop_assert_eq!(m.bit_size(), buf.len() * 8);
+    // `decode` consumes exactly the encoding even with bytes appended.
+    buf.push(0xAB);
+    let mut cursor: &[u8] = &buf;
+    let back = M::decode(&mut cursor).expect("decode with trailing byte");
+    prop_assert_eq!(&back, m);
+    prop_assert_eq!(cursor, &[0xAB][..]);
+    Ok(())
+}
+
+/// A message whose declared size is an arbitrary *bit* count — lets the
+/// budget-boundary property probe `16·⌈log₂ n⌉` exactly, not just at
+/// whole-byte granularity.
+#[derive(Clone, Debug, PartialEq)]
+struct RawBits {
+    bits: usize,
+}
+
+impl Message for RawBits {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        message::put_varint(buf, self.bits as u64);
+        buf.resize(buf.len() + self.bits.div_ceil(8), 0);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let bits = usize::try_from(message::get_varint(buf)?)
+            .map_err(|_| DecodeError::Invalid("bit count overflows usize"))?;
+        let bytes = bits.div_ceil(8);
+        if buf.len() < bytes {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        *buf = &buf[bytes..];
+        Ok(RawBits { bits })
+    }
+
+    fn bit_size(&self) -> usize {
+        self.bits
+    }
+}
+
+/// Broadcasts one [`RawBits`] message per node, then halts.
+struct OneShot {
+    bits: usize,
+}
+
+impl Protocol for OneShot {
+    type State = bool;
+    type Msg = RawBits;
+
+    fn init(&self, _node: &NodeInfo) -> bool {
+        false
+    }
+
+    fn round(
+        &self,
+        sent: &mut bool,
+        _node: &NodeInfo,
+        _inbox: &Inbox<RawBits>,
+    ) -> Outgoing<RawBits> {
+        if *sent {
+            Outgoing::Halt
+        } else {
+            *sent = true;
+            Outgoing::Broadcast(RawBits { bits: self.bits })
+        }
+    }
+
+    fn is_done(&self, sent: &bool) -> bool {
+        *sent
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mis_msg_decode_inverts_encode(m in arb_mis_msg()) {
+        roundtrips(&m)?;
+    }
+
+    #[test]
+    fn primitive_messages_roundtrip(x in 0u64..u64::MAX, y in 0u32..u32::MAX, f in 0u8..2) {
+        let flag = f == 1;
+        roundtrips(&x)?;
+        roundtrips(&y)?;
+        roundtrips(&flag)?;
+        roundtrips(&(x, y))?;
+        roundtrips(&Some(x))?;
+        roundtrips(&Option::<u64>::None)?;
+        roundtrips(&(flag, Some((x, y))))?;
+    }
+
+    #[test]
+    fn truncated_encodings_never_decode(m in arb_mis_msg()) {
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        // Every strict prefix must fail — no encoding is a prefix of
+        // another variant's (self-delimiting wire format).
+        for cut in 0..buf.len() {
+            prop_assert!(MisMsg::decode_all(&buf[..cut]).is_err(), "prefix of {cut} bytes");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bandwidth_budget_boundary(n in 2usize..600, seed in 0u64..20) {
+        let g = gen::path(n);
+        let sim = Simulator::new(&g, seed);
+        let budget = sim.budget_bits().unwrap();
+        let logn = ((n.max(2) as f64).log2().ceil() as usize).max(1);
+        // Budget is 16·⌈log₂ n⌉ bits.
+        prop_assert_eq!(budget, 16 * logn);
+
+        // Exactly at the budget: accepted.
+        prop_assert!(sim.run(&OneShot { bits: budget }, 4).is_ok());
+        // One bit over: rejected, and the error reports the exact sizes.
+        match sim.run(&OneShot { bits: budget + 1 }, 4) {
+            Err(SimulatorError::BandwidthExceeded { bits, budget: b, .. }) => {
+                prop_assert_eq!(bits, budget + 1);
+                prop_assert_eq!(b, budget);
+            }
+            other => return Err(TestCaseError::fail(format!("expected BandwidthExceeded, got {other:?}"))),
+        }
+        // The parallel engine enforces the identical boundary.
+        let par = sim.with_parallelism(Parallelism::Threads(4));
+        prop_assert!(par.run_parallel(&OneShot { bits: budget }, 4).is_ok());
+        prop_assert!(matches!(
+            par.run_parallel(&OneShot { bits: budget + 1 }, 4),
+            Err(SimulatorError::BandwidthExceeded { .. })
+        ));
     }
 }
 

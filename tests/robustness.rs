@@ -76,9 +76,11 @@ fn extreme_parameter_modes() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let g = gen::barabasi_albert(800, 3, &mut rng);
     for mode in [
-        ParamMode::Practical { lambda_scale: 1e-12 }, // Λ = 1
-        ParamMode::Practical { lambda_scale: 3.0 },   // over-provisioned
-        ParamMode::Faithful { p: 3 },                 // Θ = 0 at this Δ
+        ParamMode::Practical {
+            lambda_scale: 1e-12,
+        }, // Λ = 1
+        ParamMode::Practical { lambda_scale: 3.0 }, // over-provisioned
+        ParamMode::Faithful { p: 3 },               // Θ = 0 at this Δ
     ] {
         let cfg = ArbMisConfig {
             mode,

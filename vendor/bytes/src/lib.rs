@@ -1,0 +1,53 @@
+//! Offline drop-in subset of the `bytes` API: just enough [`BufMut`] for
+//! the CONGEST wire encodings (byte-granular appends to a `Vec<u8>`).
+
+/// A growable byte sink.
+pub trait BufMut {
+    /// Appends a single byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Appends a slice of bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_appends() {
+        let mut v = Vec::new();
+        v.put_u8(7);
+        v.put_slice(&[1, 2]);
+        v.put_u16(0x0304);
+        assert_eq!(v, [7, 1, 2, 3, 4]);
+        v.put_u32(1);
+        v.put_u64(2);
+        assert_eq!(v.len(), 5 + 4 + 8);
+    }
+}

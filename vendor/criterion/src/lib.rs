@@ -1,0 +1,246 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! Supports the workspace's bench surface: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `bench_with_input`,
+//! [`BenchmarkId::new`], and [`Bencher::iter`]. Each benchmark is
+//! calibrated to a per-sample time target, timed over `sample_size`
+//! samples, and reported as min/median/mean on stdout. No statistical
+//! analysis, plots, or persisted baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-sample time target used to calibrate iterations per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// Benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Sets the default sample count for groups created later.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_sample_size = n;
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibration pass: one iteration, to size subsequent samples.
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        b.iters = (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{}/{:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            self.name,
+            id.label(),
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len(),
+            b.iters,
+        );
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // CLI arguments (e.g. `cargo bench -- <filter>`) are accepted
+            // but ignored by this offline subset.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 8usize), &8usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

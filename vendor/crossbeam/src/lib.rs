@@ -1,0 +1,101 @@
+//! Offline drop-in subset of the `crossbeam` API: scoped threads, backed
+//! by `std::thread::scope` (stabilized long after crossbeam introduced
+//! the pattern, with the same borrow-the-stack guarantees).
+//!
+//! Divergence from upstream: a panicking child thread propagates its
+//! panic out of [`scope`] during the implicit join instead of surfacing
+//! as `Err` — callers here all `.expect(..)` the result anyway, so the
+//! observable behavior (test aborts with the panic message) matches.
+
+use std::any::Any;
+use std::thread as stdthread;
+
+/// Scoped thread spawning, re-exported in crossbeam's layout.
+pub mod thread {
+    use super::*;
+
+    /// A scope handle: spawn threads that may borrow from the enclosing
+    /// stack frame. The closure given to [`spawn`](Scope::spawn) receives
+    /// the scope again so children can spawn grandchildren.
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let reborrowed = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&reborrowed)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-stack threads can be
+    /// spawned; joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let data = [1u64, 2, 3, 4];
+        let mut results = vec![0u64; 4];
+        scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                let data = &data;
+                s.spawn(move |_| {
+                    *slot = data[i] * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(results, [10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = std::sync::atomic::AtomicU64::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let v = scope(|s| s.spawn(|_| 7u32).join().unwrap()).unwrap();
+        assert_eq!(v, 7);
+    }
+}

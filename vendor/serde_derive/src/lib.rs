@@ -1,0 +1,386 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields (any visibility, non-generic);
+//! * enums whose variants are unit or struct-like (externally tagged,
+//!   mirroring upstream serde's JSON representation: `"Variant"` for
+//!   unit variants, `{"Variant": {..fields..}}` for struct variants);
+//! * the field attributes `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path::to::predicate")]`.
+//!
+//! Anything else (tuple structs, generics, other serde attributes)
+//! panics at expansion time with a clear message rather than silently
+//! producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// --------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i, &mut Vec::new());
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: expected braced body for `{name}`, got {other:?}"),
+    };
+    let shape = match kw.as_str() {
+        "struct" => Shape::Struct(parse_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Skips leading attributes and visibility, collecting `#[serde(..)]`
+/// attribute groups into `serde_attrs`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize, serde_attrs: &mut Vec<TokenStream>) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                            (inner.first(), inner.get(1))
+                        {
+                            if id.to_string() == "serde" {
+                                serde_attrs.push(args.stream());
+                            }
+                        }
+                        *i += 1;
+                    }
+                    other => panic!("serde_derive: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn parse_field_attrs(groups: &[TokenStream]) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    for g in groups {
+        let parts: Vec<TokenTree> = g.clone().into_iter().collect();
+        let mut j = 0;
+        while j < parts.len() {
+            match &parts[j] {
+                TokenTree::Ident(id) => {
+                    let key = id.to_string();
+                    match key.as_str() {
+                        "default" => {
+                            attrs.default = true;
+                            j += 1;
+                        }
+                        "skip_serializing_if" => match (parts.get(j + 1), parts.get(j + 2)) {
+                            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                                if eq.as_char() == '=' =>
+                            {
+                                let s = lit.to_string();
+                                attrs.skip_serializing_if = Some(s.trim_matches('"').to_string());
+                                j += 3;
+                            }
+                            _ => panic!("serde_derive: skip_serializing_if needs = \"path\""),
+                        },
+                        other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+                other => panic!("serde_derive: malformed serde attribute: {other:?}"),
+            }
+        }
+    }
+    attrs
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut serde_attrs = Vec::new();
+        skip_attrs_and_vis(&tokens, &mut i, &mut serde_attrs);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if let Some(TokenTree::Punct(_)) = tokens.get(i) {
+            i += 1; // the comma
+        }
+        fields.push(Field {
+            name,
+            attrs: parse_field_attrs(&serde_attrs),
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i, &mut Vec::new());
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_fields(g.stream());
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple variant `{name}` is not supported")
+            }
+            _ => None,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("serde_derive: expected `,` after variant `{name}`, got {other:?}"),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ------------------------------------------------------------ generation
+
+/// Emits the statements that build `fields_vec` from named bindings
+/// (`&self.f` for structs, plain `f` for enum-variant bindings).
+fn ser_field_stmts(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = access(&f.name);
+        let push = format!(
+            "__fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize_value({expr})));",
+            n = f.name
+        );
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !{pred}({expr}) {{ {push} }}\n"));
+        } else {
+            out.push_str(&push);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Emits the `field: <expr>,` initializers for deserialization from an
+/// object binding named `__obj`.
+fn de_field_inits(ty: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.attrs.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{ty}\", \"{n}\"))",
+                n = f.name
+            )
+        };
+        out.push_str(&format!(
+            "{n}: match ::serde::field(__obj, \"{n}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            n = f.name
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let stmts = ser_field_stmts(fields, |n| format!("&self.{n}"));
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{stmts}\n::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let stmts = ser_field_stmts(fields, |n| n.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n{stmts}\n\
+                             ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(__fields))])\n\
+                             }},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits = de_field_inits(name, fields);
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object for `{name}`\", __v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}\n}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let inits = de_field_inits(name, fields);
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object for variant `{v}`\", __inner))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n{inits}\n}})\n\
+                             }},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{__other}}` of `{name}`\"))),\n}},\n\
+                 ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__fields[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{__other}}` of `{name}`\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"variant of `{name}`\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}
