@@ -3,13 +3,21 @@
 //!
 //! ```sh
 //! experiments                 # run the full suite (text to stdout)
+//! experiments --list          # print the experiment index and exit
 //! experiments --exp E3 E7     # selected experiments
 //! experiments --quick         # reduced sizes (used in CI/tests)
 //! experiments --markdown      # markdown rendering (for EXPERIMENTS.md)
 //! experiments --json out.json # machine-readable results
 //! experiments --threads 4     # simulator/Monte-Carlo worker threads
 //!                             # (0 = auto, 1 = serial; results identical)
+//! experiments --metrics-out m.prom  # Prometheus text exposition of the run
+//! experiments --trace-out t.jsonl   # JSONL span/event log of the run
 //! ```
+//!
+//! `--metrics-out` / `--trace-out` install a process-wide recorder
+//! (`arbmis_obs::set_global`); per DESIGN.md §8 this never changes any
+//! experiment result — the `--json` report is byte-identical with and
+//! without them (CI diffs exactly that).
 
 use arbmis_bench::exps;
 use arbmis_bench::ExperimentReport;
@@ -19,24 +27,31 @@ use std::io::Write as _;
 struct Args {
     quick: bool,
     markdown: bool,
+    list: bool,
     json: Option<String>,
     selected: Vec<String>,
     threads: Option<usize>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         markdown: false,
+        list: false,
         json: None,
         selected: Vec::new(),
         threads: None,
+        metrics_out: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
             "--markdown" => args.markdown = true,
+            "--list" => args.list = true,
             "--json" => {
                 args.json = Some(it.next().expect("--json needs a path"));
             }
@@ -44,13 +59,19 @@ fn parse_args() -> Args {
                 let v = it.next().expect("--threads needs a count");
                 args.threads = Some(v.parse().expect("--threads needs an integer"));
             }
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().expect("--metrics-out needs a path"));
+            }
+            "--trace-out" => {
+                args.trace_out = Some(it.next().expect("--trace-out needs a path"));
+            }
             "--exp" => {
                 // Consume ids until the next flag.
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--markdown] [--json PATH] \
-                     [--threads N] [--exp E1 E2 ...]"
+                    "usage: experiments [--list] [--quick] [--markdown] [--json PATH] \
+                     [--threads N] [--metrics-out PATH] [--trace-out PATH] [--exp E1 E2 ...]"
                 );
                 std::process::exit(0);
             }
@@ -68,6 +89,12 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.list {
+        for (id, desc, _) in exps::all() {
+            println!("{id:<4} {desc}");
+        }
+        return;
+    }
     if let Some(t) = args.threads {
         // One global policy for both the CONGEST round engine and the
         // read-k Monte-Carlo driver; every experiment is thread-count
@@ -80,10 +107,20 @@ fn main() {
         arbmis_congest::set_default_parallelism(policy);
         eprintln!("[experiments] parallelism: {policy:?}");
     }
+    let observing = args.metrics_out.is_some() || args.trace_out.is_some();
+    let recorder = if observing {
+        // One process-wide recorder feeds the simulator, the ArbMIS
+        // pipeline, and the Monte-Carlo driver for the whole run.
+        let rec = arbmis_obs::Recorder::new();
+        arbmis_obs::set_global(rec.clone());
+        Some(rec)
+    } else {
+        None
+    };
     let registry = exps::all();
     let to_run: Vec<_> = registry
         .into_iter()
-        .filter(|(id, _)| args.selected.is_empty() || args.selected.iter().any(|s| s == id))
+        .filter(|(id, _, _)| args.selected.is_empty() || args.selected.iter().any(|s| s == id))
         .collect();
     if to_run.is_empty() {
         eprintln!("no experiments matched {:?}", args.selected);
@@ -91,7 +128,7 @@ fn main() {
     }
 
     let mut reports: Vec<ExperimentReport> = Vec::new();
-    for (id, runner) in to_run {
+    for (id, _desc, runner) in to_run {
         eprintln!(
             "[experiments] running {id} ({}mode)…",
             if args.quick { "quick " } else { "" }
@@ -112,5 +149,17 @@ fn main() {
         let mut f = std::fs::File::create(&path).expect("create json output");
         f.write_all(json.as_bytes()).expect("write json output");
         eprintln!("[experiments] wrote {path}");
+    }
+
+    if let Some(rec) = recorder {
+        let snap = rec.snapshot();
+        if let Some(path) = args.metrics_out {
+            std::fs::write(&path, snap.to_prometheus()).expect("write metrics output");
+            eprintln!("[experiments] wrote {path}");
+        }
+        if let Some(path) = args.trace_out {
+            std::fs::write(&path, snap.to_jsonl()).expect("write trace output");
+            eprintln!("[experiments] wrote {path}");
+        }
     }
 }

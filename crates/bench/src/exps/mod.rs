@@ -17,28 +17,92 @@ pub mod trees;
 
 use crate::ExperimentReport;
 
-/// An experiment entry: id and runner.
-pub type Entry = (&'static str, fn(bool) -> ExperimentReport);
+/// An experiment entry: id, one-line description, and runner.
+pub type Entry = (&'static str, &'static str, fn(bool) -> ExperimentReport);
 
 /// All experiments in index order.
 pub fn all() -> Vec<Entry> {
     vec![
-        ("E1", readk_bounds::e1_conjunction),
-        ("E2", readk_bounds::e2_tail),
-        ("E3", events::e3_event1),
-        ("E4", events::e4_event2),
-        ("E5", events::e5_event3),
-        ("E6", invariant::e6_invariant),
-        ("E7", shattering::e7_bad_components),
-        ("E8", rounds::e8_scaling),
-        ("E9", rounds::e9_race),
-        ("E10", shattering::e10_residual),
-        ("E11", congest_model::e11_congest),
-        ("E12", ablation::e12_rho_cutoff),
-        ("E13", ablation::e13_lambda_sweep),
-        ("E14", finishing::e14_cole_vishkin),
-        ("E15", trees::e15_tree_specialization),
-        ("E16", trees::e16_workloads),
+        (
+            "E1",
+            "Theorem 1.1: read-k conjunction bound Pr[Y_1=…=Y_n=1] ≤ p^(n/k)",
+            readk_bounds::e1_conjunction,
+        ),
+        (
+            "E2",
+            "Theorem 1.2: read-k lower-tail bounds vs Chernoff/Azuma",
+            readk_bounds::e2_tail,
+        ),
+        (
+            "E3",
+            "Event (1) / Figure 1A: some node of M beats all its children (Theorem 3.1)",
+            events::e3_event1,
+        ),
+        (
+            "E4",
+            "Event (2) / Figure 1B: > |M|/2α nodes of M beat all parents (Theorem 3.2)",
+            events::e4_event2,
+        ),
+        (
+            "E5",
+            "Event (3) / Figure 1C: elimination via children joining the MIS (Theorem 3.3)",
+            events::e5_event3,
+        ),
+        (
+            "E6",
+            "Theorem 3.6: Pr[node joins B] ≤ Δ^(-2p) — Invariant violations per run",
+            invariant::e6_invariant,
+        ),
+        (
+            "E7",
+            "Lemma 3.7: connected components of the bad set B are small",
+            shattering::e7_bad_components,
+        ),
+        (
+            "E8",
+            "Theorem 2.1 shape: ArbMIS rounds vs n (fixed α) and vs α (fixed n)",
+            rounds::e8_scaling,
+        ),
+        (
+            "E9",
+            "§1 comparison: CONGEST rounds to a complete MIS across algorithms",
+            rounds::e9_race,
+        ),
+        (
+            "E10",
+            "Shattering: residual active-set components after truncated priority iterations",
+            shattering::e10_residual,
+        ),
+        (
+            "E11",
+            "CONGEST compliance: per-message bit accounting for every protocol",
+            congest_model::e11_congest,
+        ),
+        (
+            "E12",
+            "Ablation: the ρ_k opt-out (high-degree nodes set priority 0)",
+            ablation::e12_rho_cutoff,
+        ),
+        (
+            "E13",
+            "Ablation: iterations per scale Λ — invariant failures vs schedule budget",
+            ablation::e13_lambda_sweep,
+        ),
+        (
+            "E14",
+            "Lemma 3.8: forest decomposition + Cole–Vishkin finishing of bad components",
+            finishing::e14_cole_vishkin,
+        ),
+        (
+            "E15",
+            "Tree specialization: shatter-then-finish tree MIS vs baselines (§1 lineage)",
+            trees::e15_tree_specialization,
+        ),
+        (
+            "E16",
+            "Workload characterization: structural statistics of every family",
+            trees::e16_workloads,
+        ),
     ]
 }
 
@@ -48,8 +112,9 @@ mod tests {
     fn registry_ids_unique_and_ordered() {
         let entries = super::all();
         assert_eq!(entries.len(), 16);
-        for (i, (id, _)) in entries.iter().enumerate() {
+        for (i, (id, desc, _)) in entries.iter().enumerate() {
             assert_eq!(*id, format!("E{}", i + 1));
+            assert!(!desc.is_empty(), "{id} needs a description");
         }
     }
 }

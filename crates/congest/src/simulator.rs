@@ -5,10 +5,12 @@ use crate::metrics::Metrics;
 use crate::parallel::{self, Parallelism};
 use crate::protocol::{Inbox, NodeInfo, Outgoing, Protocol};
 use arbmis_graph::{Graph, NodeId};
+use arbmis_obs::{Histogram, Recorder};
 use parking_lot::{Mutex, RwLock};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Barrier;
+use std::time::Instant;
 
 /// Errors a simulation can end with.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -89,6 +91,7 @@ pub struct Simulator<'g> {
     seed: u64,
     budget_bits: Option<usize>,
     parallelism: Parallelism,
+    recorder: Recorder,
 }
 
 impl<'g> Simulator<'g> {
@@ -105,7 +108,23 @@ impl<'g> Simulator<'g> {
             seed,
             budget_bits: Some(16 * logn.max(1)),
             parallelism: parallel::default_parallelism(),
+            recorder: arbmis_obs::global(),
         }
+    }
+
+    /// Attaches an observability [`Recorder`]. The default is the
+    /// process-wide recorder ([`arbmis_obs::global`]), which is disabled
+    /// unless a binary installed one. Recording never changes results:
+    /// metrics, transcripts, and final states are bit-identical with the
+    /// recorder enabled or disabled (see DESIGN.md §8).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Sets the thread-count policy used by
@@ -236,8 +255,12 @@ impl<'g> Simulator<'g> {
         let bounds = parallel::chunk_bounds(n, threads);
         let chunk_count = bounds.len();
         let workers = threads.min(chunk_count);
+        let rec = &self.recorder;
+        let obs = rec.enabled();
+        let timing = rec.timing();
+        let mut msg_bits_hist = Histogram::new();
         let mut metrics = Metrics {
-            budget_bits: self.budget_bits,
+            budget_bits: self.budget_bits.map(|b| b as u64),
             ..Metrics::default()
         };
 
@@ -257,6 +280,7 @@ impl<'g> Simulator<'g> {
         // Top-of-round-0 termination check, exactly like the serial loop.
         if states.iter().all(|s| protocol.is_done(s)) {
             metrics.rounds = 0;
+            flush_run_obs(rec, &metrics, &msg_bits_hist);
             return Ok(SimulatorRun { states, metrics });
         }
 
@@ -301,11 +325,31 @@ impl<'g> Simulator<'g> {
             Fail(SimulatorError),
         }
         let mut outcome = Outcome::Limit;
+        // Per-worker utilization: (chunks claimed, busy wall-time ns).
+        // Written once per worker at exit; read after the scope ends.
+        let worker_stats: Vec<Mutex<(u64, u64)>> =
+            (0..workers).map(|_| Mutex::new((0, 0))).collect();
 
         crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| {
+            for w in 0..workers {
+                // Shadow the shared structures with references so the
+                // `move` closure copies the borrows (and `w`) instead of
+                // moving the structures themselves.
+                #[allow(clippy::needless_borrow)]
+                let (slots, outs, barrier, stop, a_next, b_next, dest_chunk, worker_stats) = (
+                    &slots,
+                    &outs,
+                    &barrier,
+                    &stop,
+                    &a_next,
+                    &b_next,
+                    &dest_chunk,
+                    &worker_stats,
+                );
+                scope.spawn(move |_| {
                     let mut round: u64 = 0;
+                    let mut chunks_claimed = 0u64;
+                    let mut busy_ns = 0u64;
                     loop {
                         barrier.wait(); // round start
                                         // Phase A: steal chunks, run their activations.
@@ -314,6 +358,7 @@ impl<'g> Simulator<'g> {
                             if i >= chunk_count {
                                 break;
                             }
+                            let t0 = timing.then(Instant::now);
                             let mut slot = slots[i].lock();
                             let out = process_chunk(
                                 protocol,
@@ -322,11 +367,16 @@ impl<'g> Simulator<'g> {
                                 round,
                                 budget,
                                 traced,
-                                &dest_chunk,
+                                obs,
+                                dest_chunk,
                                 chunk_count,
                                 &mut slot,
                             );
                             *outs[i].write() = out;
+                            chunks_claimed += 1;
+                            if let Some(t0) = t0 {
+                                busy_ns += t0.elapsed().as_nanos() as u64;
+                            }
                         }
                         barrier.wait(); // activations done; coordinator merges
                         barrier.wait(); // decision published
@@ -339,10 +389,18 @@ impl<'g> Simulator<'g> {
                             if j >= chunk_count {
                                 break;
                             }
+                            let t0 = timing.then(Instant::now);
                             let mut slot = slots[j].lock();
-                            deliver_chunk(&mut slot, j, &outs);
+                            deliver_chunk(&mut slot, j, outs);
+                            chunks_claimed += 1;
+                            if let Some(t0) = t0 {
+                                busy_ns += t0.elapsed().as_nanos() as u64;
+                            }
                         }
                         round += 1;
+                    }
+                    if timing {
+                        *worker_stats[w].lock() = (chunks_claimed, busy_ns);
                     }
                 });
             }
@@ -351,6 +409,7 @@ impl<'g> Simulator<'g> {
             // order) so the first error, metrics, and transcript all
             // coincide with the serial engine.
             for round in 0..max_rounds {
+                let round_t0 = timing.then(Instant::now);
                 barrier.wait(); // release phase A
                 barrier.wait(); // phase A complete; workers idle
 
@@ -365,18 +424,34 @@ impl<'g> Simulator<'g> {
                     Some(Outcome::Fail(e))
                 } else {
                     let mut all_done = true;
+                    let (round_msgs0, round_bits0) = (metrics.messages, metrics.bits);
                     for out_lock in &outs {
                         let mut out = out_lock.write();
-                        metrics.messages += out.messages;
-                        metrics.bits += out.bits;
-                        metrics.max_message_bits = metrics.max_message_bits.max(out.max_bits);
+                        metrics.merge(&Metrics {
+                            rounds: 0,
+                            messages: out.messages,
+                            bits: out.bits,
+                            max_message_bits: out.max_bits as u64,
+                            budget_bits: None,
+                        });
                         all_done &= out.all_done;
+                        if obs {
+                            msg_bits_hist.merge(&out.bits_hist);
+                        }
                         if let Some(t) = transcript.as_deref_mut() {
                             for &(from, to, bits) in &out.events_flat {
                                 t.record(round, from, to, bits);
                             }
                             out.events_flat.clear();
                         }
+                    }
+                    if obs {
+                        observe_round(
+                            rec,
+                            metrics.messages - round_msgs0,
+                            metrics.bits - round_bits0,
+                            round_t0,
+                        );
                     }
                     if all_done {
                         metrics.rounds = round + 1;
@@ -409,8 +484,21 @@ impl<'g> Simulator<'g> {
             states.extend(slot.states);
             halted.extend(slot.halted);
         }
+        if timing {
+            // Work-stealing utilization: timing class (chunk assignment
+            // is a scheduling race), so only recorded with wall-clock
+            // timing on — `Recorder::deterministic` output omits it.
+            for (w, stats) in worker_stats.iter().enumerate() {
+                let (chunks, busy) = *stats.lock();
+                rec.gauge(&format!("worker_chunks{{worker=\"{w}\"}}"), chunks as f64);
+                rec.gauge(&format!("worker_busy_ns{{worker=\"{w}\"}}"), busy as f64);
+            }
+        }
         match outcome {
-            Outcome::Done => Ok(SimulatorRun { states, metrics }),
+            Outcome::Done => {
+                flush_run_obs(rec, &metrics, &msg_bits_hist);
+                Ok(SimulatorRun { states, metrics })
+            }
             Outcome::Fail(e) => Err(e),
             Outcome::Limit => {
                 let pending = (0..n)
@@ -432,8 +520,12 @@ impl<'g> Simulator<'g> {
     ) -> Result<SimulatorRun<P::State>, SimulatorError> {
         let g = self.graph;
         let n = g.n();
+        let rec = &self.recorder;
+        let obs = rec.enabled();
+        let timing = rec.timing();
+        let mut msg_bits_hist = Histogram::new();
         let mut metrics = Metrics {
-            budget_bits: self.budget_bits,
+            budget_bits: self.budget_bits.map(|b| b as u64),
             ..Metrics::default()
         };
 
@@ -457,8 +549,11 @@ impl<'g> Simulator<'g> {
         for round in 0..max_rounds {
             if (0..n).all(|v| protocol.is_done(&states[v]) || halted[v]) {
                 metrics.rounds = round;
+                flush_run_obs(rec, &metrics, &msg_bits_hist);
                 return Ok(SimulatorRun { states, metrics });
             }
+            let (round_msgs0, round_bits0) = (metrics.messages, metrics.bits);
+            let round_t0 = timing.then(Instant::now);
             for v in 0..n {
                 if halted[v] {
                     continue;
@@ -479,6 +574,9 @@ impl<'g> Simulator<'g> {
                         for &u in g.neighbors(v) {
                             self.check_bits(v, u, bits)?;
                             metrics.record_message(bits);
+                            if obs {
+                                msg_bits_hist.observe(bits as u64);
+                            }
                             if let Some(t) = transcript.as_deref_mut() {
                                 t.record(round, v, u, bits);
                             }
@@ -493,6 +591,9 @@ impl<'g> Simulator<'g> {
                             let bits = msg.bit_size();
                             self.check_bits(v, u, bits)?;
                             metrics.record_message(bits);
+                            if obs {
+                                msg_bits_hist.observe(bits as u64);
+                            }
                             if let Some(t) = transcript.as_deref_mut() {
                                 t.record(round, v, u, bits);
                             }
@@ -500,6 +601,14 @@ impl<'g> Simulator<'g> {
                         }
                     }
                 }
+            }
+            if obs {
+                observe_round(
+                    rec,
+                    metrics.messages - round_msgs0,
+                    metrics.bits - round_bits0,
+                    round_t0,
+                );
             }
             for v in 0..n {
                 inboxes[v].clear();
@@ -511,6 +620,7 @@ impl<'g> Simulator<'g> {
 
         if (0..n).all(|v| protocol.is_done(&states[v]) || halted[v]) {
             metrics.rounds = max_rounds;
+            flush_run_obs(rec, &metrics, &msg_bits_hist);
             return Ok(SimulatorRun { states, metrics });
         }
         let pending = (0..n)
@@ -560,6 +670,9 @@ struct ChunkOut<M> {
     messages: u64,
     bits: u64,
     max_bits: usize,
+    /// Per-message bit sizes, log₂-bucketed; filled only when a recorder
+    /// is attached, merged (in chunk order) by the coordinator.
+    bits_hist: Histogram,
     /// Whether every node of the chunk is halted or done after this
     /// round (= the serial engine's top-of-next-round termination test).
     all_done: bool,
@@ -575,9 +688,34 @@ impl<M> ChunkOut<M> {
             messages: 0,
             bits: 0,
             max_bits: 0,
+            bits_hist: Histogram::new(),
             all_done: false,
             error: None,
         }
+    }
+}
+
+/// Run-level accumulation shared by both engines: called once per
+/// successful run, folding the run's totals and its message-size
+/// histogram into the recorder.
+fn flush_run_obs(rec: &Recorder, metrics: &Metrics, msg_bits: &Histogram) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.add("congest_runs", 1);
+    rec.add("congest_rounds", metrics.rounds);
+    rec.add("congest_messages", metrics.messages);
+    rec.add("congest_bits", metrics.bits);
+    rec.merge_histogram("congest_message_bits", msg_bits);
+}
+
+/// Per-round observations shared by both engines. `t0` is `Some` only
+/// when wall-clock timing is on (timing class, name `*_ns`).
+fn observe_round(rec: &Recorder, msgs: u64, bits: u64, t0: Option<Instant>) {
+    rec.observe("congest_round_messages", msgs);
+    rec.observe("congest_round_bits", bits);
+    if let Some(t0) = t0 {
+        rec.observe("congest_round_time_ns", t0.elapsed().as_nanos() as u64);
     }
 }
 
@@ -591,6 +729,7 @@ fn process_chunk<P: Protocol>(
     round: u64,
     budget: Option<usize>,
     traced: bool,
+    obs: bool,
     dest_chunk: &[u32],
     chunk_count: usize,
     slot: &mut ChunkSlot<P>,
@@ -622,6 +761,9 @@ fn process_chunk<P: Protocol>(
         out.messages += 1;
         out.bits += bits as u64;
         out.max_bits = out.max_bits.max(bits);
+        if obs {
+            out.bits_hist.observe(bits as u64);
+        }
         if traced {
             out.events_flat.push((from, to, bits));
         }

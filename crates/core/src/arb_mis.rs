@@ -26,10 +26,11 @@
 //! Every phase only lets nodes not yet dominated by the growing `I` join,
 //! so the union is an MIS of the whole graph — asserted in debug builds.
 
-use crate::bounded_arb::{bounded_arb_independent_set, BoundedArbConfig, ShatterOutcome};
+use crate::bounded_arb::{bounded_arb_independent_set_with, BoundedArbConfig, ShatterOutcome};
 use crate::params::ParamMode;
 use crate::{cole_vishkin, forest_decomp, metivier};
 use arbmis_graph::{traversal, Graph, NodeId};
+use arbmis_obs::{Histogram, Recorder};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of an `ArbMIS` run.
@@ -144,8 +145,32 @@ fn degree_reduction_iterations(n: usize) -> u64 {
 /// assert!(arbmis_core::check_mis(&g, &out.in_mis).is_ok());
 /// ```
 pub fn arb_mis(g: &Graph, cfg: &ArbMisConfig) -> ArbMisOutcome {
+    arb_mis_with(g, cfg, &arbmis_obs::global())
+}
+
+/// [`arb_mis`] with an explicit observability [`Recorder`]: each pipeline
+/// phase runs under a span (`arbmis/degree_reduction`,
+/// `arbmis/shattering`, `arbmis/vlo`, `arbmis/vhi`,
+/// `arbmis/bad_components` with nested `forest_decomp` / `cole_vishkin`),
+/// and the node-degree and bad-component-size histograms are collected.
+/// Recording never changes the outcome (DESIGN.md §8).
+///
+/// # Panics
+///
+/// Same conditions as [`arb_mis`].
+pub fn arb_mis_with(g: &Graph, cfg: &ArbMisConfig, rec: &Recorder) -> ArbMisOutcome {
     assert!(cfg.alpha >= 1, "arboricity bound must be >= 1");
     let n = g.n();
+    let _root = rec.span("arbmis");
+    let obs = rec.enabled();
+    if obs {
+        rec.add("arbmis_runs", 1);
+        let mut degrees = Histogram::new();
+        for v in g.nodes() {
+            degrees.observe(g.neighbors(v).len() as u64);
+        }
+        rec.merge_histogram("arbmis_node_degree", &degrees);
+    }
     let mut in_mis = vec![false; n];
     let mut phases = PhaseRounds::default();
 
@@ -156,6 +181,7 @@ pub fn arb_mis(g: &Graph, cfg: &ArbMisConfig) -> ArbMisOutcome {
     // graph untouched for the shattering phase.
     let target = degree_reduction_target(cfg.alpha, n);
     let mut region: Vec<bool> = vec![true; n];
+    let dr_span = rec.span("degree_reduction");
     if cfg.degree_reduction && g.max_degree() as f64 > target {
         let cap = degree_reduction_iterations(n);
         let mut view = arbmis_graph::ActiveView::new(g);
@@ -200,8 +226,10 @@ pub fn arb_mis(g: &Graph, cfg: &ArbMisConfig) -> ArbMisOutcome {
         region.copy_from_slice(view.mask());
         phases.degree_reduction = iters * metivier::ROUNDS_PER_ITERATION;
     }
+    rec.point("rounds", phases.degree_reduction);
+    drop(dr_span);
 
-    // Phase 2: shattering on the residual region.
+    // Phase 2: shattering on the residual region (opens its own span).
     let sub = arbmis_graph::InducedSubgraph::new(g, &region);
     let ba_cfg = BoundedArbConfig {
         alpha: cfg.alpha,
@@ -210,7 +238,7 @@ pub fn arb_mis(g: &Graph, cfg: &ArbMisConfig) -> ArbMisOutcome {
         rho_cutoff: true,
         record_iterations: false,
     };
-    let local = bounded_arb_independent_set(sub.graph(), &ba_cfg);
+    let local = bounded_arb_independent_set_with(sub.graph(), &ba_cfg, rec);
     phases.shattering = local.rounds;
     // Lift the shatter outcome to original ids.
     let mut shatter = ShatterOutcome {
@@ -254,7 +282,12 @@ pub fn arb_mis(g: &Graph, cfg: &ArbMisConfig) -> ArbMisOutcome {
                 && (residual_degree(v) as f64) <= hi_threshold
         })
         .collect();
-    let lo_run = metivier::run_region(g, &vlo, cfg.seed ^ 0x10);
+    let lo_run = {
+        let _s = rec.span("vlo");
+        let run = metivier::run_region(g, &vlo, cfg.seed ^ 0x10);
+        rec.point("rounds", run.rounds);
+        run
+    };
     for (slot, &joined) in in_mis.iter_mut().zip(&lo_run.in_mis) {
         *slot |= joined;
     }
@@ -263,7 +296,12 @@ pub fn arb_mis(g: &Graph, cfg: &ArbMisConfig) -> ArbMisOutcome {
     let vhi: Vec<bool> = (0..n)
         .map(|v| shatter.active[v] && undominated(&in_mis, v) && !vlo[v])
         .collect();
-    let hi_run = metivier::run_region(g, &vhi, cfg.seed ^ 0x11);
+    let hi_run = {
+        let _s = rec.span("vhi");
+        let run = metivier::run_region(g, &vhi, cfg.seed ^ 0x11);
+        rec.point("rounds", run.rounds);
+        run
+    };
     for (slot, &joined) in in_mis.iter_mut().zip(&hi_run.in_mis) {
         *slot |= joined;
     }
@@ -274,17 +312,33 @@ pub fn arb_mis(g: &Graph, cfg: &ArbMisConfig) -> ArbMisOutcome {
     let members = comps.members();
     let mut bad_component_sizes: Vec<usize> = Vec::new();
     let mut max_component_rounds = 0u64;
-    for comp in &members {
-        if comp.is_empty() {
-            continue;
+    {
+        let _s = rec.span("bad_components");
+        let mut comp_hist = Histogram::new();
+        for comp in &members {
+            if comp.is_empty() {
+                continue;
+            }
+            bad_component_sizes.push(comp.len());
+            if obs {
+                comp_hist.observe(comp.len() as u64);
+            }
+            let rounds = finish_bad_component(g, comp, cfg, rec, &mut in_mis);
+            max_component_rounds = max_component_rounds.max(rounds);
         }
-        bad_component_sizes.push(comp.len());
-        let rounds = finish_bad_component(g, comp, cfg, &mut in_mis);
-        max_component_rounds = max_component_rounds.max(rounds);
+        if obs {
+            rec.merge_histogram("arbmis_bad_component_size", &comp_hist);
+        }
+        rec.point("rounds", max_component_rounds);
     }
     phases.bad_components = max_component_rounds;
 
     let rounds = phases.total();
+    if obs {
+        rec.add("arbmis_rounds", rounds);
+        let mis_size = in_mis.iter().filter(|&&b| b).count();
+        rec.gauge("arbmis_mis_size", mis_size as f64);
+    }
     debug_assert!(
         crate::verify::check_mis(g, &in_mis).is_ok(),
         "ArbMIS produced a non-MIS: {:?}",
@@ -306,22 +360,29 @@ fn finish_bad_component(
     g: &Graph,
     component: &[NodeId],
     cfg: &ArbMisConfig,
+    rec: &Recorder,
     in_mis: &mut [bool],
 ) -> u64 {
     let sub = arbmis_graph::InducedSubgraph::from_nodes(g, component);
     let cg = sub.graph();
     // The component has arboricity ≤ α (subgraphs never exceed the bound).
-    let (forests, decomp_rounds) = forest_decomp::forest_decomposition(cg, cfg.alpha, cfg.eps)
-        .expect("component arboricity exceeds the global bound");
+    let (forests, decomp_rounds) = {
+        let _s = rec.span("forest_decomp");
+        forest_decomp::forest_decomposition(cg, cfg.alpha, cfg.eps)
+            .expect("component arboricity exceeds the global bound")
+    };
     // Color the first forest (largest by construction of out-edge
     // indexing); isolated-in-forest nodes are roots and get colored too.
-    let coloring = match forests.first() {
-        Some(f) => cole_vishkin::cv_color_to_three(f),
-        None => cole_vishkin::ForestColoring {
-            colors: vec![0; cg.n()],
-            num_colors: 1,
-            rounds: 0,
-        },
+    let coloring = {
+        let _s = rec.span("cole_vishkin");
+        match forests.first() {
+            Some(f) => cole_vishkin::cv_color_to_three(f),
+            None => cole_vishkin::ForestColoring {
+                colors: vec![0; cg.n()],
+                num_colors: 1,
+                rounds: 0,
+            },
+        }
     };
     // Region: component nodes not yet dominated by the global MIS.
     let region: Vec<bool> = (0..cg.n())
@@ -443,6 +504,62 @@ mod tests {
         let g = gen::star(200);
         let out = arb_mis(&g, &ArbMisConfig::new(1, 3));
         assert!(check_mis(&g, &out.in_mis).is_ok());
+    }
+
+    #[test]
+    fn recorder_captures_phase_spans_without_changing_results() {
+        let mut r = rng(9);
+        let g = gen::random_ktree(300, 2, &mut r);
+        let cfg = ArbMisConfig::new(2, 7);
+        let rec = arbmis_obs::Recorder::deterministic();
+        let observed = arb_mis_with(&g, &cfg, &rec);
+        let plain = arb_mis(&g, &cfg);
+        // Observation only: the recorder never changes the outcome.
+        assert_eq!(observed, plain);
+
+        let snap = rec.snapshot();
+        for span in [
+            "arbmis",
+            "arbmis/degree_reduction",
+            "arbmis/shattering",
+            "arbmis/vlo",
+            "arbmis/vhi",
+            "arbmis/bad_components",
+        ] {
+            assert!(snap.has_span(span), "missing span {span}");
+        }
+        assert_eq!(snap.counter("arbmis_runs"), Some(1));
+        assert_eq!(snap.counter("arbmis_rounds"), Some(plain.rounds));
+        let degrees = snap.histogram("arbmis_node_degree").unwrap();
+        assert_eq!(degrees.count(), g.n() as u64);
+        assert_eq!(
+            snap.gauge_value("arbmis_mis_size"),
+            Some(plain.mis_size() as f64)
+        );
+        // Bad components (when any exist) nest the Lemma 3.8 machinery.
+        if !plain.bad_component_sizes.is_empty() {
+            assert!(snap.has_span("arbmis/bad_components/forest_decomp"));
+            assert!(snap.has_span("arbmis/bad_components/cole_vishkin"));
+            assert_eq!(
+                snap.histogram("arbmis_bad_component_size").unwrap().count(),
+                plain.bad_component_sizes.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn recorder_snapshot_is_deterministic_across_runs() {
+        let mut r = rng(10);
+        let g = gen::forest_union(400, 2, &mut r);
+        let cfg = ArbMisConfig::new(2, 3);
+        let run = || {
+            let rec = arbmis_obs::Recorder::deterministic();
+            arb_mis_with(&g, &cfg, &rec);
+            rec.snapshot()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::params::{ArbParams, ParamMode};
 use crate::trace::ScaleTrace;
 use arbmis_congest::rng;
 use arbmis_graph::{ActiveView, Graph, NodeId};
+use arbmis_obs::{Histogram, Recorder};
 use serde::{Deserialize, Serialize};
 
 /// Randomness tag for priority draws (shared with the CONGEST protocol).
@@ -125,6 +126,22 @@ pub(crate) fn draw_priority(seed: u64, v: NodeId, iter: u64, n: usize) -> u64 {
 /// assert!(arbmis_core::is_independent(&g, &out.in_mis));
 /// ```
 pub fn bounded_arb_independent_set(g: &Graph, cfg: &BoundedArbConfig) -> ShatterOutcome {
+    bounded_arb_independent_set_with(g, cfg, &arbmis_obs::global())
+}
+
+/// [`bounded_arb_independent_set`] with an explicit observability
+/// [`Recorder`]. Opens a `shattering` phase span and records the
+/// joiners-per-iteration histogram and, per scale, the Invariant
+/// headroom gauge (`Δ/2^{k+2}` bad threshold minus the worst surviving
+/// high-degree neighbor count). Recording never changes the outcome.
+pub fn bounded_arb_independent_set_with(
+    g: &Graph,
+    cfg: &BoundedArbConfig,
+    rec: &Recorder,
+) -> ShatterOutcome {
+    let _span = rec.span("shattering");
+    let obs = rec.enabled();
+    let mut joiners_hist = Histogram::new();
     let params = ArbParams::new(cfg.alpha, g.max_degree(), cfg.mode);
     let mut view = ActiveView::new(g);
     let mut in_mis = vec![false; g.n()];
@@ -150,6 +167,9 @@ pub fn bounded_arb_independent_set(g: &Graph, cfg: &BoundedArbConfig) -> Shatter
                 if cfg.record_iterations {
                     joined_per_iteration.push(joiners.len());
                 }
+                if obs {
+                    joiners_hist.observe(joiners.len() as u64);
+                }
                 for &v in &joiners {
                     in_mis[v] = true;
                     joined += 1;
@@ -160,8 +180,13 @@ pub fn bounded_arb_independent_set(g: &Graph, cfg: &BoundedArbConfig) -> Shatter
                         view.deactivate(u);
                     }
                 }
-            } else if cfg.record_iterations {
-                joined_per_iteration.push(0);
+            } else {
+                if cfg.record_iterations {
+                    joined_per_iteration.push(0);
+                }
+                if obs {
+                    joiners_hist.observe(0);
+                }
             }
             global_iter += 1;
         }
@@ -171,6 +196,22 @@ pub fn bounded_arb_independent_set(g: &Graph, cfg: &BoundedArbConfig) -> Shatter
         for &v in &violators {
             bad[v] = true;
             view.deactivate(v);
+        }
+
+        if obs {
+            rec.point("scale_bad_marked", violators.len() as u64);
+            // Headroom of the Invariant check after exile: the bad
+            // threshold Δ/2^{k+2} minus the worst surviving node's
+            // high-degree neighbor count (≥ 0 by construction of 2(b)).
+            let worst = view
+                .active_nodes()
+                .map(|v| crate::invariant::high_degree_neighbor_count(&view, &params, k, v))
+                .max()
+                .unwrap_or(0);
+            rec.gauge(
+                &format!("arbmis_invariant_headroom{{scale=\"{k}\"}}"),
+                params.bad_threshold(k) - worst as f64,
+            );
         }
 
         trace.push(ScaleTrace {
@@ -189,6 +230,12 @@ pub fn bounded_arb_independent_set(g: &Graph, cfg: &BoundedArbConfig) -> Shatter
 
     let iterations = global_iter;
     let rounds = iterations * ROUNDS_PER_ITERATION + u64::from(params.theta) * ROUNDS_PER_SCALE_END;
+    if obs {
+        rec.add("arbmis_shatter_iterations", iterations);
+        rec.add("arbmis_shatter_scales", u64::from(params.theta));
+        rec.merge_histogram("arbmis_scale_joiners", &joiners_hist);
+        rec.point("rounds", rounds);
+    }
     ShatterOutcome {
         in_mis,
         bad,
@@ -355,6 +402,41 @@ mod tests {
         let out = bounded_arb_independent_set(&g, &cfg);
         assert!(is_independent(&g, &out.in_mis));
         sets_partition_consistently(&g, &out);
+    }
+
+    #[test]
+    fn recorder_observes_scales_without_changing_results() {
+        let mut r = rng(9);
+        let g = gen::random_ktree(400, 2, &mut r);
+        let cfg = BoundedArbConfig::new(2, 5);
+        let rec = arbmis_obs::Recorder::deterministic();
+        let observed = bounded_arb_independent_set_with(&g, &cfg, &rec);
+        let plain = bounded_arb_independent_set(&g, &cfg);
+        assert_eq!(observed, plain);
+
+        let snap = rec.snapshot();
+        assert!(snap.has_span("shattering"));
+        assert_eq!(
+            snap.counter("arbmis_shatter_iterations"),
+            Some(plain.iterations)
+        );
+        assert_eq!(
+            snap.counter("arbmis_shatter_scales"),
+            Some(u64::from(plain.params.theta))
+        );
+        // One joiner observation per scheduled iteration, summing to |I|.
+        let joiners = snap.histogram("arbmis_scale_joiners").unwrap();
+        assert_eq!(joiners.count(), plain.iterations);
+        assert_eq!(joiners.sum(), plain.mis_size() as u64);
+        // Step 2(b) enforces the Invariant, so every scale's headroom
+        // gauge (bad threshold minus worst surviving count) is ≥ 0.
+        for k in 1..=plain.params.theta {
+            let name = format!("arbmis_invariant_headroom{{scale=\"{k}\"}}");
+            let v = snap
+                .gauge_value(&name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert!(v >= 0.0, "{name} = {v}");
+        }
     }
 
     #[test]

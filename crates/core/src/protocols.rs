@@ -649,7 +649,7 @@ mod tests {
         let mut r = rng(5);
         let g = gen::gnp(200, 0.05, &mut r);
         let run = simulate(&g, 31, &MetivierProtocol, 10_000).unwrap();
-        let budget = Simulator::new(&g, 31).budget_bits().unwrap();
+        let budget = Simulator::new(&g, 31).budget_bits().unwrap() as u64;
         assert!(run.metrics.max_message_bits <= budget);
         // Priorities dominate: 4·⌈log₂ 200⌉ = 32 bits ≈ 5 bytes + tag.
         assert!(run.metrics.max_message_bits <= 8 * 7);

@@ -1,0 +1,251 @@
+//! Log-bucketed histograms for non-negative integer observations.
+//!
+//! Bucket boundaries are powers of two, fixed by construction (never
+//! data-dependent): bucket 0 holds the value `0` exactly, and bucket
+//! `i ≥ 1` holds values in `[2^{i-1}, 2^i - 1]`. The upper bound of
+//! bucket `i` is therefore `2^i - 1` (`0, 1, 3, 7, 15, …`), which is the
+//! `le` label used in the Prometheus exposition. The pinned-boundary
+//! unit tests below are the normative definition.
+
+use serde::{Deserialize, Serialize};
+
+/// A log₂-bucketed histogram over `u64` observations.
+///
+/// Merging and observing are commutative and associative, so any
+/// aggregation order produces the same histogram — the property the
+/// deterministic parallel engine relies on.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `counts[i]` = observations in bucket `i`; trailing empty buckets
+    /// are not stored.
+    counts: Vec<u64>,
+    /// Total number of observations.
+    count: u64,
+    /// Sum of all observed values.
+    sum: u64,
+    /// Smallest observed value (0 when empty).
+    min: u64,
+    /// Largest observed value (0 when empty).
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index holding `value`: 0 for the value `0`, otherwise
+    /// `⌊log₂ value⌋ + 1`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i`: `0` for bucket 0, else
+    /// `2^i - 1` (saturating at `u64::MAX` for bucket 64).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let b = Self::bucket_index(value);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (slot, &c) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += c;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-cumulative per-bucket counts, without trailing zeros.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs for every stored bucket —
+    /// the Prometheus `le` series (the `+Inf` bucket is implied by
+    /// [`count`](Self::count)).
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                acc += c;
+                (Self::bucket_upper_bound(i), acc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The normative bucket layout: 0 | [1,1] | [2,3] | [4,7] | [8,15] …
+    #[test]
+    fn bucket_boundaries_pinned() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(2), 3);
+        assert_eq!(Histogram::bucket_upper_bound(3), 7);
+        assert_eq!(Histogram::bucket_upper_bound(10), 1023);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn every_bucket_contains_its_bounds() {
+        for i in 1..20usize {
+            let lo = 1u64 << (i - 1);
+            let hi = Histogram::bucket_upper_bound(i);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+            assert_eq!(Histogram::bucket_index(hi + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn observe_accumulates() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 8, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1014);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.bucket_counts(), &[1, 1, 2, 0, 1, 0, 0, 0, 0, 0, 1]);
+        assert!((h.mean() - 169.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_series() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(5);
+        let cum = h.cumulative();
+        assert_eq!(cum, vec![(0, 1), (1, 2), (3, 2), (7, 3)]);
+    }
+
+    #[test]
+    fn merge_equals_interleaved_observe() {
+        let values = [0u64, 3, 9, 12, 77, 1 << 20, 5, 0];
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.observe(v);
+        }
+        let (left, right) = values.split_at(3);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in left {
+            a.observe(v);
+        }
+        for &v in right {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        // Merging in the other order gives the same result.
+        let mut c = Histogram::new();
+        for &v in right {
+            c.observe(v);
+        }
+        let mut d = Histogram::new();
+        for &v in left {
+            d.observe(v);
+        }
+        c.merge(&d);
+        assert_eq!(c, whole);
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.observe(4);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

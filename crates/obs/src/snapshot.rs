@@ -1,0 +1,365 @@
+//! A consistent copy of a [`crate::Recorder`]'s state, and the two
+//! machine-readable sinks rendered from it: a JSONL event log and a
+//! Prometheus text exposition.
+//!
+//! Both renderings are fully deterministic given the snapshot: events
+//! appear in recorded order, metrics in lexicographic name order
+//! (`BTreeMap` iteration order at snapshot time). With a
+//! [`crate::Recorder::deterministic`] recorder, the rendered bytes are
+//! identical run to run.
+
+use crate::hist::Histogram;
+use crate::recorder::Event;
+use std::fmt::Write as _;
+
+/// Everything a recorder has accumulated: the chronological event log
+/// plus the final counter/gauge/histogram values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Chronological event log (spans and point events).
+    pub events: Vec<Event>,
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` pairs, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl Snapshot {
+    /// The value of a counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The value of a gauge, if recorded.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The named histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Completed spans as `(path, wall_ns)` in completion order.
+    pub fn span_durations(&self) -> Vec<(String, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanEnd { path, wall_ns, .. } => Some((path.clone(), *wall_ns)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether a span with this exact path completed.
+    pub fn has_span(&self, path: &str) -> bool {
+        self.span_durations().iter().any(|(p, _)| p == path)
+    }
+
+    /// Renders the snapshot as a JSONL event log: one JSON object per
+    /// line — a `meta` header, every event in order, then every counter,
+    /// gauge, and histogram.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"format\":\"arbmis-obs\",\"version\":1}}"
+        );
+        for e in &self.events {
+            match e {
+                Event::SpanStart { seq, path } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"span_start\",\"seq\":{seq},\"path\":\"{}\"}}",
+                        escape(path)
+                    );
+                }
+                Event::SpanEnd { seq, path, wall_ns } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"span_end\",\"seq\":{seq},\"path\":\"{}\",\"wall_ns\":{wall_ns}}}",
+                        escape(path)
+                    );
+                }
+                Event::Point {
+                    seq,
+                    path,
+                    name,
+                    value,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"point\",\"seq\":{seq},\"path\":\"{}\",\"name\":\"{}\",\"value\":{value}}}",
+                        escape(path),
+                        escape(name)
+                    );
+                }
+            }
+        }
+        for (name, v) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+                escape(name)
+            );
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                escape(name),
+                fmt_f64(*v)
+            );
+        }
+        for (name, h) in &self.histograms {
+            let buckets: Vec<String> = h
+                .cumulative()
+                .iter()
+                .map(|(le, c)| format!("[{le},{c}]"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"cumulative_buckets\":[{}]}}",
+                escape(name),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                buckets.join(",")
+            );
+        }
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters, gauges, then histograms with
+    /// cumulative `le` buckets, `_sum`, and `_count` series. Metric
+    /// names are sanitized to `[a-zA-Z0-9_:]`; a `{label="value"}`
+    /// suffix in a recorded name is preserved as-is.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_typed: Option<String> = None;
+        let mut type_line = |out: &mut String, base: &str, kind: &str| {
+            if last_typed.as_deref() != Some(base) {
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+                last_typed = Some(base.to_string());
+            }
+        };
+        for (name, v) in &self.counters {
+            let (base, labels) = split_labels(name);
+            let base = sanitize(&base);
+            type_line(&mut out, &base, "counter");
+            let _ = writeln!(out, "{base}{labels} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let (base, labels) = split_labels(name);
+            let base = sanitize(&base);
+            type_line(&mut out, &base, "gauge");
+            let _ = writeln!(out, "{base}{labels} {}", fmt_f64(*v));
+        }
+        for (name, h) in &self.histograms {
+            let (base, labels) = split_labels(name);
+            let base = sanitize(&base);
+            type_line(&mut out, &base, "histogram");
+            for (le, c) in h.cumulative() {
+                let _ = writeln!(out, "{base}_bucket{} {c}", merge_labels(&labels, le));
+            }
+            let _ = writeln!(
+                out,
+                "{base}_bucket{} {}",
+                merge_labels_inf(&labels),
+                h.count()
+            );
+            let _ = writeln!(out, "{base}_sum{labels} {}", h.sum());
+            let _ = writeln!(out, "{base}_count{labels} {}", h.count());
+        }
+        out
+    }
+}
+
+/// Formats an `f64` the way both sinks need it: integral values without
+/// a trailing `.0` would reparse as integers, which is fine for JSON,
+/// but keep Rust's shortest-roundtrip default for full fidelity.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Inf/NaN; Prometheus renders them as strings too.
+        format!("\"{v}\"")
+    }
+}
+
+/// JSON string escaping for the small character set metric names use.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits a recorded name into `(base, label_block)` where the label
+/// block (possibly empty) includes its braces.
+fn split_labels(name: &str) -> (String, String) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base.to_string(), format!("{{{rest}")),
+        None => (name.to_string(), String::new()),
+    }
+}
+
+/// Sanitizes a base metric name for Prometheus.
+fn sanitize(base: &str) -> String {
+    base.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Adds `le="n"` to a (possibly empty) label block.
+fn merge_labels(labels: &str, le: u64) -> String {
+    match labels.strip_suffix('}') {
+        Some(head) => format!("{head},le=\"{le}\"}}"),
+        None => format!("{{le=\"{le}\"}}"),
+    }
+}
+
+/// Adds `le="+Inf"` to a (possibly empty) label block.
+fn merge_labels_inf(labels: &str) -> String {
+    match labels.strip_suffix('}') {
+        Some(head) => format!("{head},le=\"+Inf\"}}"),
+        None => "{le=\"+Inf\"}".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample() -> Snapshot {
+        let r = Recorder::deterministic();
+        {
+            let _root = r.span("arbmis");
+            let _p = r.span("shattering");
+            r.point("scale", 1);
+        }
+        r.add("congest_messages", 12);
+        r.gauge("headroom", 1.5);
+        r.observe("round_bits{proto=\"luby\"}", 0);
+        r.observe("round_bits{proto=\"luby\"}", 5);
+        r.snapshot()
+    }
+
+    #[test]
+    fn jsonl_shape_pinned() {
+        let s = sample();
+        let jsonl = s.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"meta\",\"format\":\"arbmis-obs\",\"version\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"span_start\",\"seq\":0,\"path\":\"arbmis\"}"
+        );
+        assert!(lines.iter().any(|l| l.contains("\"span_end\"")
+            && l.contains("\"arbmis/shattering\"")
+            && l.contains("\"wall_ns\":0")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"counter\"") && l.contains("\"congest_messages\"")));
+        assert!(lines.iter().any(|l| l.contains("\"histogram\"")
+            && l.contains("\"cumulative_buckets\":[[0,1],[1,1],[3,1],[7,2]]")));
+    }
+
+    #[test]
+    fn jsonl_lines_are_self_contained_objects() {
+        // The vendored serde_json has no raw-Value entry point, so check
+        // the line grammar structurally: every line is one JSON object
+        // with a type tag and balanced quoting.
+        for line in sample().to_jsonl().lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"type\":\""), "{line}");
+            assert_eq!(
+                line.matches('"').count() % 2,
+                0,
+                "unbalanced quotes: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_format_pinned() {
+        let s = sample();
+        let prom = s.to_prometheus();
+        let expected = "\
+# TYPE congest_messages counter
+congest_messages 12
+# TYPE headroom gauge
+headroom 1.5
+# TYPE round_bits histogram
+round_bits_bucket{proto=\"luby\",le=\"0\"} 1
+round_bits_bucket{proto=\"luby\",le=\"1\"} 1
+round_bits_bucket{proto=\"luby\",le=\"3\"} 1
+round_bits_bucket{proto=\"luby\",le=\"7\"} 2
+round_bits_bucket{proto=\"luby\",le=\"+Inf\"} 2
+round_bits_sum{proto=\"luby\"} 5
+round_bits_count{proto=\"luby\"} 2
+";
+        assert_eq!(prom, expected);
+    }
+
+    #[test]
+    fn sanitize_dots_and_dashes() {
+        assert_eq!(sanitize("a.b-c:d_e"), "a_b_c:d_e");
+    }
+
+    #[test]
+    fn deterministic_recorder_renders_identically() {
+        let make = || {
+            let r = Recorder::deterministic();
+            {
+                let _s = r.span("phase");
+                r.add("c", 1);
+                r.observe("h", 42);
+            }
+            r.snapshot()
+        };
+        let (a, b) = (make(), make());
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
+    }
+
+    #[test]
+    fn span_helpers() {
+        let s = sample();
+        assert!(s.has_span("arbmis"));
+        assert!(s.has_span("arbmis/shattering"));
+        assert!(!s.has_span("missing"));
+        assert_eq!(s.span_durations().len(), 2);
+        // Inner span completes first.
+        assert_eq!(s.span_durations()[0].0, "arbmis/shattering");
+    }
+}

@@ -82,6 +82,7 @@ pub fn estimate_with_parallelism<F>(trials: u64, parallelism: Parallelism, event
 where
     F: Fn(u64) -> bool + Sync,
 {
+    record_batch(trials);
     let threads = mc_threads(trials, parallelism);
     if trials < 256 || threads == 1 {
         let successes = (0..trials).filter(|&t| event(t)).count() as u64;
@@ -133,6 +134,7 @@ where
     F: Fn(u64) -> f64 + Sync,
 {
     assert!(trials > 0, "need at least one trial");
+    record_batch(trials);
     let threads = mc_threads(trials, parallelism);
     let chunk = trials.div_ceil(threads as u64);
     let results = collect_parallel(trials, threads as u64, chunk, &stat);
@@ -144,6 +146,17 @@ where
         0.0
     };
     (mean, var.sqrt())
+}
+
+/// Trial-batch progress for the process-wide recorder: one point event
+/// per batch plus a running trial counter and a batch-size histogram.
+fn record_batch(trials: u64) {
+    let rec = arbmis_obs::global();
+    if rec.enabled() {
+        rec.add("readk_mc_trials", trials);
+        rec.point("readk_mc_batch", trials);
+        rec.observe("readk_mc_batch_trials", trials);
+    }
 }
 
 /// Resolves a [`Parallelism`] policy to a Monte-Carlo worker count.

@@ -25,13 +25,16 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  arbmis run   (--input FILE | --family NAME --n N) --algo ALGO [--alpha A] [--seed S]
+  arbmis run   (--input FILE | --family NAME --n N) --algo ALGO [--alpha A] [--seed S] [--obs]
   arbmis stats (--input FILE | --family NAME --n N) [--seed S]
   arbmis gen   --family NAME --n N --output FILE [--seed S]
 
 algorithms: greedy luby metivier ghaffari treemis arbmis
 families:   tree caterpillar4 forests2 forests3 ktree2 ktree3 apollonian
-            sp ba2 ba3 plc3 gnp8 grid geometric cliquering6"
+            sp ba2 ba3 plc3 gnp8 grid geometric cliquering6
+
+--obs attaches the observability recorder and prints a per-phase
+round/time table after the run (results are unchanged; DESIGN.md §8)."
     );
     ExitCode::from(2)
 }
@@ -57,11 +60,18 @@ fn family_by_name(name: &str) -> Option<GraphFamily> {
     })
 }
 
+/// Boolean flags take no value; everything else is `--key value`.
+const BOOLEAN_FLAGS: &[&str] = &["obs"];
+
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut map = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let key = a.strip_prefix("--")?;
+        if BOOLEAN_FLAGS.contains(&key) {
+            map.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let value = it.next()?;
         map.insert(key.to_string(), value.clone());
     }
@@ -90,6 +100,35 @@ fn load_graph(flags: &HashMap<String, String>) -> Result<Graph, String> {
     Ok(GraphSpec::new(fam, n).generate(&mut rng))
 }
 
+/// Renders the `--obs` table: one row per completed phase span (rounds
+/// taken from the span's `rounds` point event, wall time from the span
+/// itself), followed by the recorded counters.
+fn print_obs_table(snap: &arbmis::obs::Snapshot) {
+    use arbmis::obs::Event;
+    let mut rounds_by_path: HashMap<&str, u64> = HashMap::new();
+    for e in &snap.events {
+        if let Event::Point {
+            path, name, value, ..
+        } = e
+        {
+            if name == "rounds" {
+                rounds_by_path.insert(path, *value);
+            }
+        }
+    }
+    println!("{:<42} {:>10} {:>12}", "phase", "rounds", "time");
+    for (path, wall_ns) in snap.span_durations() {
+        let rounds = rounds_by_path
+            .get(path.as_str())
+            .map_or_else(|| "-".to_string(), u64::to_string);
+        let time = format!("{:.3}ms", wall_ns as f64 / 1e6);
+        println!("{path:<42} {rounds:>10} {time:>12}");
+    }
+    for (name, v) in &snap.counters {
+        println!("{name} = {v}");
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -102,6 +141,13 @@ fn main() -> ExitCode {
 
     match cmd.as_str() {
         "run" => {
+            let recorder = if flags.contains_key("obs") {
+                let rec = arbmis::obs::Recorder::new();
+                arbmis::obs::set_global(rec.clone());
+                Some(rec)
+            } else {
+                None
+            };
             let g = match load_graph(&flags) {
                 Ok(g) => g,
                 Err(e) => {
@@ -152,6 +198,9 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
+            if let Some(rec) = &recorder {
+                print_obs_table(&rec.snapshot());
+            }
             match check_mis(&g, &in_mis) {
                 Ok(()) => {
                     let size = in_mis.iter().filter(|&&b| b).count();

@@ -24,7 +24,7 @@
 //! * **baselines**: Luby's algorithm, the Métivier et al. priority
 //!   algorithm, and Ghaffari's SODA 2016 algorithm.
 //!
-//! This facade crate re-exports the four member crates under stable
+//! This facade crate re-exports the five member crates under stable
 //! names.
 //!
 //! ## Quickstart
@@ -47,6 +47,10 @@
 /// forest decompositions (re-export of `arbmis-graph`).
 pub use arbmis_graph as graph;
 
+/// Deterministic observability: recorders, spans, histograms, and the
+/// JSONL/Prometheus sinks (re-export of `arbmis-obs`; see DESIGN.md §8).
+pub use arbmis_obs as obs;
+
 /// Synchronous CONGEST-model simulator (re-export of `arbmis-congest`).
 pub use arbmis_congest as congest;
 
@@ -67,5 +71,6 @@ mod tests {
         assert!(crate::core::check_mis(&g, &run.in_mis).is_ok());
         assert!(crate::readk::conjunction_bound(0.5, 4, 2) > 0.0);
         let _sim = crate::congest::Simulator::new(&g, 0);
+        assert!(!crate::obs::Recorder::disabled().enabled());
     }
 }

@@ -60,7 +60,7 @@ fn bounded_arb_protocol_within_budget() {
         .unwrap();
     assert!(run.metrics.within_budget());
     // Degree announcements are the largest payloads; still O(log n).
-    assert!(run.metrics.max_message_bits <= Simulator::new(&g, 2).budget_bits().unwrap());
+    assert!(run.metrics.max_message_bits <= Simulator::new(&g, 2).budget_bits().unwrap() as u64);
 }
 
 #[test]

@@ -169,6 +169,76 @@ fn parallel_twins_match_fast_paths() {
     }
 }
 
+/// DESIGN.md §8 rule 1, the traced-vs-untraced differential: attaching an
+/// observability recorder (timing, deterministic, or none) must leave
+/// transcript digests, metrics, and states bit-identical, serially and at
+/// every thread count.
+#[test]
+fn recorder_never_perturbs_transcripts_or_metrics() {
+    use arbmis::obs::Recorder;
+
+    let g = graph(GraphFamily::GnpAvgDegree { d: 5.0 }, 150, 38);
+    let (baseline, t_baseline) = Simulator::new(&g, 9)
+        .with_parallelism(Parallelism::Serial)
+        .run_traced(&MetivierProtocol, 50_000)
+        .unwrap();
+    let recorders = [
+        Recorder::disabled(),
+        Recorder::new(),
+        Recorder::deterministic(),
+    ];
+    for threads in [1, 8] {
+        for (i, rec) in recorders.iter().enumerate() {
+            let sim = Simulator::new(&g, 9)
+                .with_parallelism(Parallelism::Threads(threads))
+                .with_recorder(rec.clone());
+            let (run, t) = sim.run_parallel_traced(&MetivierProtocol, 50_000).unwrap();
+            let label = format!("recorder #{i}, {threads} threads");
+            assert_eq!(t.digest(), t_baseline.digest(), "{label}: digest");
+            assert_eq!(t.entries(), t_baseline.entries(), "{label}: entries");
+            assert_eq!(run.metrics, baseline.metrics, "{label}: metrics");
+            assert_eq!(
+                run.states.iter().map(|s| s.in_mis).collect::<Vec<_>>(),
+                baseline.states.iter().map(|s| s.in_mis).collect::<Vec<_>>(),
+                "{label}: states"
+            );
+        }
+    }
+}
+
+/// DESIGN.md §8 rule 2 at the engine level: the deterministic-class
+/// recorder contents (counters, round histograms) are identical between
+/// the serial and parallel engines and across thread counts.
+#[test]
+fn recorder_contents_identical_across_engines_and_threads() {
+    use arbmis::obs::Recorder;
+
+    let g = graph(GraphFamily::BarabasiAlbert { m: 2 }, 150, 39);
+    let serial_rec = Recorder::deterministic();
+    Simulator::new(&g, 4)
+        .with_parallelism(Parallelism::Serial)
+        .with_recorder(serial_rec.clone())
+        .run(&MetivierProtocol, 50_000)
+        .unwrap();
+    let serial_snap = serial_rec.snapshot();
+    assert!(serial_snap.counter("congest_runs").is_some());
+    for threads in [1, 8] {
+        let rec = Recorder::deterministic();
+        Simulator::new(&g, 4)
+            .with_parallelism(Parallelism::Threads(threads))
+            .with_recorder(rec.clone())
+            .run_parallel(&MetivierProtocol, 50_000)
+            .unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.to_prometheus(),
+            serial_snap.to_prometheus(),
+            "{threads} threads"
+        );
+        assert_eq!(snap.to_jsonl(), serial_snap.to_jsonl(), "{threads} threads");
+    }
+}
+
 /// `Parallelism::Auto` (whatever the host core count) agrees with serial
 /// too — the contract holds for the default configuration, not just the
 /// pinned thread counts above.
