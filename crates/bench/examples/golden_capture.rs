@@ -1,0 +1,52 @@
+//! Prints the golden fingerprints used by `tests/message_plane.rs`:
+//! transcript digest, metrics, and a state fingerprint for each
+//! broadcast-heavy stress workload. Run once on a known-good engine and
+//! paste the output into the test's golden table.
+
+use arbmis_congest::Simulator;
+use arbmis_core::protocols::{GhaffariProtocol, LubyProtocol, MetivierProtocol, MisNodeState};
+use arbmis_graph::{gen, Graph};
+use rand::SeedableRng;
+
+fn fnv(mut h: u64, x: u64) -> u64 {
+    h ^= x;
+    h.wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+fn state_fingerprint(states: &[MisNodeState]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in states {
+        h = fnv(
+            h,
+            u64::from(s.in_mis) | u64::from(s.active) << 1 | u64::from(s.bad) << 2,
+        );
+    }
+    h
+}
+
+fn capture(name: &str, g: &Graph, seed: u64, which: u8) {
+    let sim = Simulator::new(g, seed);
+    let (run, t) = match which {
+        0 => sim.run_traced(&MetivierProtocol, 100_000).unwrap(),
+        1 => sim.run_traced(&LubyProtocol, 100_000).unwrap(),
+        _ => sim.run_traced(&GhaffariProtocol, 100_000).unwrap(),
+    };
+    println!(
+        "(\"{name}\", {:#018x}, {}, {}, {}, {}, {:#018x}),",
+        t.digest(),
+        run.metrics.rounds,
+        run.metrics.messages,
+        run.metrics.bits,
+        run.metrics.max_message_bits,
+        state_fingerprint(&run.states),
+    );
+}
+
+fn main() {
+    let mut r11 = rand::rngs::StdRng::seed_from_u64(11);
+    let mut r12 = rand::rngs::StdRng::seed_from_u64(12);
+    capture("gnp300_dense_metivier", &gen::gnp(300, 0.2, &mut r11), 7, 0);
+    capture("gnp150_half_luby", &gen::gnp(150, 0.5, &mut r12), 8, 1);
+    capture("star400_metivier", &gen::star(400), 9, 0);
+    capture("star257_ghaffari", &gen::star(257), 10, 2);
+}

@@ -1,0 +1,169 @@
+//! Machine-readable companion to the `bench_congest` Criterion group:
+//! measures median ns/round of the CONGEST round engines on the standard
+//! acceptance workloads — broadcast-heavy G(50k, p = 4/n) and a random
+//! k-tree — and writes `BENCH_congest.json` so the perf trajectory
+//! accumulates across commits.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_congest_json [--out PATH] [--baseline PATH] [--samples N]
+//! ```
+//!
+//! `--baseline` points at a previously emitted JSON (e.g. captured before
+//! a refactor); its `serial_ns_per_round` values are copied into
+//! `baseline_serial_ns_per_round` and the speedup ratio is reported, so
+//! the committed artifact carries both numbers.
+
+use arbmis_congest::{Parallelism, Simulator};
+use arbmis_core::protocols::MetivierProtocol;
+use arbmis_graph::{gen, Graph};
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+const SEED: u64 = 3;
+const MAX_ROUNDS: u64 = 100_000;
+
+#[derive(Serialize, Deserialize)]
+struct BenchDoc {
+    schema: String,
+    samples: u64,
+    threads_parallel: u64,
+    workloads: Vec<BenchEntry>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchEntry {
+    name: String,
+    protocol: String,
+    n: u64,
+    m: u64,
+    rounds: u64,
+    serial_ns_per_round: f64,
+    parallel_ns_per_round: f64,
+    baseline_serial_ns_per_round: Option<f64>,
+    serial_speedup_vs_baseline: Option<f64>,
+}
+
+struct Workload {
+    name: &'static str,
+    graph: Graph,
+}
+
+fn workloads() -> Vec<Workload> {
+    // Same generator seeds as benches/bench_congest.rs, so the Criterion
+    // group and this emitter measure the same graphs.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let n = 50_000;
+    vec![
+        Workload {
+            name: "gnp50k_d4",
+            graph: gen::gnp(n, 4.0 / n as f64, &mut rng),
+        },
+        Workload {
+            name: "ktree20k_k3",
+            graph: gen::random_ktree(20_000, 3, &mut rng),
+        },
+    ]
+}
+
+/// Median of `samples` measurements of `ns/round`; also returns the round
+/// count (identical across samples — the engines are deterministic).
+fn median_ns_per_round(samples: usize, mut run: impl FnMut() -> (u64, u64)) -> (f64, u64) {
+    let mut rounds = 0;
+    let mut per_round: Vec<f64> = (0..samples)
+        .map(|_| {
+            let (ns, r) = run();
+            rounds = r;
+            ns as f64 / r.max(1) as f64
+        })
+        .collect();
+    per_round.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (per_round[per_round.len() / 2], rounds)
+}
+
+fn main() {
+    let mut out_path = "BENCH_congest.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut samples = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            "--samples" => {
+                samples = args
+                    .next()
+                    .expect("--samples needs a count")
+                    .parse()
+                    .expect("--samples must be an integer")
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline: Option<BenchDoc> = baseline_path.map(|p| {
+        let text = std::fs::read_to_string(&p).expect("baseline JSON must be readable");
+        serde_json::from_str(&text).expect("baseline JSON must parse")
+    });
+    let baseline_serial = |name: &str| -> Option<f64> {
+        baseline
+            .as_ref()?
+            .workloads
+            .iter()
+            .find(|w| w.name == name)
+            .map(|w| w.serial_ns_per_round)
+    };
+
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut entries = Vec::new();
+    for w in workloads() {
+        let g = &w.graph;
+        let (serial, rounds) = median_ns_per_round(samples, || {
+            let sim = Simulator::new(g, SEED).with_parallelism(Parallelism::Serial);
+            let t0 = Instant::now();
+            let run = sim.run(&MetivierProtocol, MAX_ROUNDS).unwrap();
+            (t0.elapsed().as_nanos() as u64, run.metrics.rounds)
+        });
+        let (parallel, _) = median_ns_per_round(samples, || {
+            let sim = Simulator::new(g, SEED).with_parallelism(Parallelism::Threads(threads));
+            let t0 = Instant::now();
+            let run = sim.run_parallel(&MetivierProtocol, MAX_ROUNDS).unwrap();
+            (t0.elapsed().as_nanos() as u64, run.metrics.rounds)
+        });
+        let base = baseline_serial(w.name);
+        eprintln!(
+            "{}: serial {serial:.0} ns/round, parallel({threads}) {parallel:.0} ns/round{}",
+            w.name,
+            base.map(|b| format!(", baseline {b:.0} ({:.2}x)", b / serial))
+                .unwrap_or_default()
+        );
+        entries.push(BenchEntry {
+            name: w.name.to_string(),
+            protocol: "metivier".to_string(),
+            n: g.n() as u64,
+            m: g.m() as u64,
+            rounds,
+            serial_ns_per_round: serial,
+            parallel_ns_per_round: parallel,
+            baseline_serial_ns_per_round: base,
+            serial_speedup_vs_baseline: base.map(|b| b / serial),
+        });
+    }
+
+    let doc = BenchDoc {
+        schema: "bench_congest/v1".to_string(),
+        samples: samples as u64,
+        threads_parallel: threads as u64,
+        workloads: entries,
+    };
+    let text = serde_json::to_string_pretty(&doc).expect("serializing the JSON artifact");
+    std::fs::write(&out_path, text + "\n").expect("writing the JSON artifact");
+    eprintln!("wrote {out_path}");
+}

@@ -42,7 +42,7 @@ impl Protocol for LeaderElect {
 
     fn round(&self, st: &mut LeaderState, node: &NodeInfo, inbox: &Inbox<u64>) -> Outgoing<u64> {
         let before = st.leader;
-        for &(_, l) in inbox {
+        for (_, &l) in inbox {
             st.leader = st.leader.max(l);
         }
         if node.round >= self.rounds {
@@ -105,7 +105,7 @@ impl Protocol for BfsTree {
         // Adopt the first (smallest-id sender, since inboxes are sorted)
         // announcement heard.
         if st.distance.is_none() {
-            if let Some(&(sender, d)) = inbox.first() {
+            if let Some((sender, &d)) = inbox.first() {
                 st.distance = Some(d + 1);
                 st.parent = Some(sender);
                 return Outgoing::Broadcast(d + 1);
@@ -186,7 +186,7 @@ impl Protocol for ConvergeCast {
         if st.done {
             return Outgoing::Halt;
         }
-        for &(_, s) in inbox {
+        for (_, &s) in inbox {
             st.sum += s;
             st.pending -= 1;
         }

@@ -41,7 +41,7 @@
 //!         match node.round {
 //!             0 => Outgoing::Broadcast(node.id as u64),
 //!             _ => {
-//!                 for &(_, id) in inbox.iter() {
+//!                 for (_, &id) in inbox.iter() {
 //!                     st.best = st.best.max(id);
 //!                 }
 //!                 st.done = true;

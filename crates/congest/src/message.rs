@@ -76,10 +76,30 @@ pub trait Message: Clone + std::fmt::Debug {
     }
 
     /// Size of the wire encoding in bits.
+    ///
+    /// The default encodes into a thread-local scratch buffer so the
+    /// per-message accounting in the simulator's hot loop never
+    /// allocates (pinned by `tests/alloc_steady_state.rs`); fixed-layout
+    /// messages should override it with arithmetic.
     fn bit_size(&self) -> usize {
-        let mut buf = Vec::with_capacity(16);
-        self.encode(&mut buf);
-        buf.len() * 8
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Vec<u8>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut buf) => {
+                buf.clear();
+                self.encode(&mut buf);
+                buf.len() * 8
+            }
+            // Re-entrant call (an `encode` that itself asks for a nested
+            // bit size): fall back to a fresh buffer.
+            Err(_) => {
+                let mut buf = Vec::with_capacity(16);
+                self.encode(&mut buf);
+                buf.len() * 8
+            }
+        })
     }
 }
 
@@ -141,6 +161,10 @@ impl Message for u64 {
         put_varint(buf, *self);
     }
 
+    fn bit_size(&self) -> usize {
+        varint_len(*self) * 8
+    }
+
     fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
         get_varint(buf)
     }
@@ -153,6 +177,10 @@ impl Message for u32 {
 
     fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
         u32::try_from(get_varint(buf)?).map_err(|_| DecodeError::Invalid("value overflows u32"))
+    }
+
+    fn bit_size(&self) -> usize {
+        varint_len(u64::from(*self)) * 8
     }
 }
 
@@ -167,6 +195,10 @@ impl Message for bool {
             1 => Ok(true),
             _ => Err(DecodeError::Invalid("bool byte not 0/1")),
         }
+    }
+
+    fn bit_size(&self) -> usize {
+        8
     }
 }
 

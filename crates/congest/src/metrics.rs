@@ -28,6 +28,19 @@ impl Metrics {
         self.max_message_bits = self.max_message_bits.max(bits as u64);
     }
 
+    /// Records a broadcast delivered as `copies` identical messages of
+    /// `bits` bits each — one accounting update for the whole
+    /// neighborhood instead of one per edge. Equivalent to `copies`
+    /// calls to [`record_message`](Self::record_message).
+    pub(crate) fn record_broadcast(&mut self, bits: usize, copies: usize) {
+        if copies == 0 {
+            return;
+        }
+        self.messages += copies as u64;
+        self.bits += (bits * copies) as u64;
+        self.max_message_bits = self.max_message_bits.max(bits as u64);
+    }
+
     /// Merges `other` into `self` — the single accumulation point used
     /// by the parallel engine's chunk merge and by observability
     /// snapshots. Combination rules:
@@ -78,6 +91,20 @@ mod tests {
         assert_eq!(m.bits, 32);
         assert_eq!(m.max_message_bits, 24);
         assert!((m.avg_message_bits() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_broadcast_equals_per_copy_records() {
+        let mut per_copy = Metrics::default();
+        for _ in 0..5 {
+            per_copy.record_message(24);
+        }
+        let mut batched = Metrics::default();
+        batched.record_broadcast(24, 5);
+        assert_eq!(batched, per_copy);
+        // Zero copies (isolated sender) leaves everything untouched.
+        batched.record_broadcast(1024, 0);
+        assert_eq!(batched, per_copy);
     }
 
     #[test]

@@ -302,7 +302,8 @@ impl<'g> Simulator<'g> {
                     lo,
                     states: chunk,
                     halted: vec![false; hi - lo],
-                    inboxes: vec![Vec::new(); hi - lo],
+                    inbox_entries: vec![Vec::new(); hi - lo],
+                    arena: Vec::new(),
                 }));
             }
         }
@@ -360,21 +361,17 @@ impl<'g> Simulator<'g> {
                             }
                             let t0 = timing.then(Instant::now);
                             let mut slot = slots[i].lock();
-                            let out = process_chunk(
-                                protocol,
-                                g,
-                                seed,
-                                round,
-                                budget,
-                                traced,
-                                obs,
-                                dest_chunk,
-                                chunk_count,
-                                &mut slot,
+                            let mut out = outs[i].write();
+                            out.reset(chunk_count);
+                            process_chunk(
+                                protocol, g, seed, round, budget, traced, obs, dest_chunk,
+                                &mut slot, &mut out,
                             );
-                            *outs[i].write() = out;
-                            chunks_claimed += 1;
+                            // Utilization bookkeeping is timing-class
+                            // only: skip the counters entirely when
+                            // wall-clock timing is off.
                             if let Some(t0) = t0 {
+                                chunks_claimed += 1;
                                 busy_ns += t0.elapsed().as_nanos() as u64;
                             }
                         }
@@ -392,8 +389,8 @@ impl<'g> Simulator<'g> {
                             let t0 = timing.then(Instant::now);
                             let mut slot = slots[j].lock();
                             deliver_chunk(&mut slot, j, outs);
-                            chunks_claimed += 1;
                             if let Some(t0) = t0 {
+                                chunks_claimed += 1;
                                 busy_ns += t0.elapsed().as_nanos() as u64;
                             }
                         }
@@ -543,8 +540,11 @@ impl<'g> Simulator<'g> {
             .collect();
 
         let mut halted = vec![false; n];
-        let mut inboxes: Vec<Inbox<P::Msg>> = vec![Vec::new(); n];
-        let mut next_inboxes: Vec<Inbox<P::Msg>> = vec![Vec::new(); n];
+        // Double-buffered message plane: `cur` is read this round, `next`
+        // is filled for the next one; both keep their allocations across
+        // rounds (steady-state rounds allocate nothing).
+        let mut cur: Plane<P::Msg> = Plane::new(n);
+        let mut next: Plane<P::Msg> = Plane::new(n);
 
         for round in 0..max_rounds {
             if (0..n).all(|v| protocol.is_done(&states[v]) || halted[v]) {
@@ -558,30 +558,43 @@ impl<'g> Simulator<'g> {
                 if halted[v] {
                     continue;
                 }
+                let nbrs = g.neighbors(v);
                 let info = NodeInfo {
                     id: v,
                     n,
-                    neighbors: g.neighbors(v),
+                    neighbors: nbrs,
                     round,
                     seed: self.seed,
                 };
-                let out = protocol.round(&mut states[v], &info, &inboxes[v]);
+                let inbox = cur.inbox(v, nbrs);
+                let out = protocol.round(&mut states[v], &info, &inbox);
                 match out {
                     Outgoing::Silent => {}
                     Outgoing::Halt => halted[v] = true,
                     Outgoing::Broadcast(msg) => {
+                        if nbrs.is_empty() {
+                            continue;
+                        }
                         let bits = msg.bit_size();
-                        for &u in g.neighbors(v) {
-                            self.check_bits(v, u, bits)?;
-                            metrics.record_message(bits);
-                            if obs {
-                                msg_bits_hist.observe(bits as u64);
-                            }
-                            if let Some(t) = transcript.as_deref_mut() {
+                        // Every copy has the same size: one budget check
+                        // for the whole neighborhood, reporting the first
+                        // neighbor (= the edge the per-edge loop would
+                        // have failed on).
+                        self.check_bits(v, nbrs[0], bits)?;
+                        metrics.record_broadcast(bits, nbrs.len());
+                        if obs {
+                            msg_bits_hist.observe_n(bits as u64, nbrs.len() as u64);
+                        }
+                        if let Some(t) = transcript.as_deref_mut() {
+                            for &u in nbrs {
                                 t.record(round, v, u, bits);
                             }
-                            next_inboxes[u].push((v, msg.clone()));
                         }
+                        // The payload is stored once and the sender's
+                        // slot points at it; receivers find it by
+                        // scanning their neighbor lists — no per-edge
+                        // delivery work at all.
+                        next.push_broadcast(v, msg);
                     }
                     Outgoing::Unicast(list) => {
                         for (u, msg) in list {
@@ -597,7 +610,7 @@ impl<'g> Simulator<'g> {
                             if let Some(t) = transcript.as_deref_mut() {
                                 t.record(round, v, u, bits);
                             }
-                            next_inboxes[u].push((v, msg));
+                            next.push_unicast(v, u, msg);
                         }
                     }
                 }
@@ -610,12 +623,11 @@ impl<'g> Simulator<'g> {
                     round_t0,
                 );
             }
-            for v in 0..n {
-                inboxes[v].clear();
-                std::mem::swap(&mut inboxes[v], &mut next_inboxes[v]);
-                // Deliver sorted by sender for determinism.
-                inboxes[v].sort_by_key(|&(s, _)| s);
-            }
+            std::mem::swap(&mut cur, &mut next);
+            next.clear();
+            // No per-round sort: the `for v in 0..n` emission order above
+            // pushes into every inbox in ascending sender order already.
+            debug_assert!(cur.is_sorted_by_sender(), "inbox delivery out of order");
         }
 
         if (0..n).all(|v| protocol.is_done(&states[v]) || halted[v]) {
@@ -647,23 +659,121 @@ impl<'g> Simulator<'g> {
     }
 }
 
+/// One side of the serial engine's double-buffered message plane.
+///
+/// A broadcast costs the engine O(1): the payload is pushed into
+/// `barena` once and the sender's slot in `bidx` records its index — no
+/// per-edge writes at all. Receivers discover broadcasts lazily by
+/// scanning their own (sorted) neighbor list against `bidx` while
+/// iterating the [`Inbox`]. Unicasts go through explicit per-receiver
+/// `(sender, arena index)` entry lists backed by `uarena`;
+/// `unicast_touched` remembers which lists are non-empty so clearing is
+/// O(#receivers-with-unicasts), not O(n). All buffers persist across
+/// rounds, so steady-state rounds reuse the grown capacity instead of
+/// reallocating.
+struct Plane<M> {
+    /// Per-sender broadcast slot ([`protocol::NO_BROADCAST`] = none).
+    bidx: Vec<u32>,
+    /// Broadcast payloads, one per broadcasting sender.
+    barena: Vec<M>,
+    /// Per-receiver unicast entry lists.
+    uentries: Vec<Vec<(NodeId, u32)>>,
+    /// Unicast payloads.
+    uarena: Vec<M>,
+    /// Receivers whose `uentries` list is non-empty this round.
+    unicast_touched: Vec<NodeId>,
+}
+
+impl<M> Plane<M> {
+    fn new(n: usize) -> Self {
+        Plane {
+            bidx: vec![crate::protocol::NO_BROADCAST; n],
+            barena: Vec::new(),
+            uentries: vec![Vec::new(); n],
+            uarena: Vec::new(),
+            unicast_touched: Vec::new(),
+        }
+    }
+
+    /// Records a broadcast from `from`: one arena push + one slot write.
+    fn push_broadcast(&mut self, from: NodeId, msg: M) {
+        let idx = u32::try_from(self.barena.len()).expect("round arena exceeds u32::MAX messages");
+        self.barena.push(msg);
+        self.bidx[from] = idx;
+    }
+
+    /// Records a unicast `from → to`.
+    fn push_unicast(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let idx = u32::try_from(self.uarena.len()).expect("round arena exceeds u32::MAX messages");
+        self.uarena.push(msg);
+        if self.uentries[to].is_empty() {
+            self.unicast_touched.push(to);
+        }
+        self.uentries[to].push((from, idx));
+    }
+
+    /// The receiver-side [`Inbox`] view for node `v` with neighbor list
+    /// `nbrs`.
+    fn inbox<'a>(&'a self, v: NodeId, nbrs: &'a [NodeId]) -> Inbox<'a, M> {
+        Inbox::from_plane(
+            nbrs,
+            &self.bidx,
+            &self.barena,
+            &self.uentries[v],
+            &self.uarena,
+        )
+    }
+
+    /// Empties the plane, keeping every allocation.
+    fn clear(&mut self) {
+        if !self.barena.is_empty() {
+            self.bidx.fill(crate::protocol::NO_BROADCAST);
+            self.barena.clear();
+        }
+        for v in self.unicast_touched.drain(..) {
+            self.uentries[v].clear();
+        }
+        self.uarena.clear();
+    }
+
+    /// Whether every unicast entry list is ascending by sender — true by
+    /// construction (the emission loop visits senders in ascending
+    /// order); asserted (debug builds) instead of re-sorting. The
+    /// broadcast part is sorted by construction too: receivers scan
+    /// their already-sorted neighbor lists.
+    fn is_sorted_by_sender(&self) -> bool {
+        self.uentries
+            .iter()
+            .all(|e| e.windows(2).all(|w| w[0].0 <= w[1].0))
+    }
+}
+
 /// One chunk's long-lived simulation state: the node states, halt
-/// flags, and inboxes for nodes `lo..lo + states.len()`.
+/// flags, and arena-backed inboxes for nodes `lo..lo + states.len()`.
+/// `arena` holds one copy of every payload delivered to this chunk in
+/// the current round; `inbox_entries[off]` lists `(sender, arena index)`
+/// pairs per node. All buffers persist (and are reused) across rounds.
 struct ChunkSlot<P: Protocol> {
     lo: NodeId,
     states: Vec<P::State>,
     halted: Vec<bool>,
-    inboxes: Vec<Inbox<P::Msg>>,
+    inbox_entries: Vec<Vec<(NodeId, u32)>>,
+    arena: Vec<P::Msg>,
 }
 
-/// One worker's output for one chunk's round: sends partitioned by
-/// destination chunk (each partition in serial emission order) plus
-/// local metric partials. The worker stops at its first error (like the
-/// serial loop); earlier chunks are checked first during the merge, so
-/// the reported error matches serial node order.
+/// One worker's output for one chunk's round: the chunk's outgoing
+/// payload arena (broadcasts stored once, unicasts owned) plus index
+/// events partitioned by destination chunk (each partition in serial
+/// emission order) and local metric partials. The worker stops at its
+/// first error (like the serial loop); earlier chunks are checked first
+/// during the merge, so the reported error matches serial node order.
+/// Reused across rounds via [`reset`](ChunkOut::reset).
 struct ChunkOut<M> {
-    /// `(from, to, msg)` per destination chunk, in serial emission order.
-    events_by_dest: Vec<Vec<(NodeId, NodeId, M)>>,
+    /// Payloads this chunk sent this round.
+    arena: Vec<M>,
+    /// `(from, to, arena index)` per destination chunk, in serial
+    /// emission order.
+    events_by_dest: Vec<Vec<(NodeId, NodeId, u32)>>,
     /// `(from, to, bits)` in serial emission order; filled only when a
     /// transcript is being recorded.
     events_flat: Vec<(NodeId, NodeId, usize)>,
@@ -680,9 +790,10 @@ struct ChunkOut<M> {
 }
 
 impl<M> ChunkOut<M> {
-    /// Placeholder contents; overwritten by phase A before any read.
+    /// Placeholder contents; reset + filled by phase A before any read.
     fn empty() -> Self {
         ChunkOut {
+            arena: Vec::new(),
             events_by_dest: Vec::new(),
             events_flat: Vec::new(),
             messages: 0,
@@ -692,6 +803,25 @@ impl<M> ChunkOut<M> {
             all_done: false,
             error: None,
         }
+    }
+
+    /// Clears for this round's refill, keeping all allocations, and
+    /// ensures one destination partition per chunk.
+    fn reset(&mut self, chunk_count: usize) {
+        self.arena.clear();
+        if self.events_by_dest.len() != chunk_count {
+            self.events_by_dest.resize_with(chunk_count, Vec::new);
+        }
+        for d in &mut self.events_by_dest {
+            d.clear();
+        }
+        self.events_flat.clear();
+        self.messages = 0;
+        self.bits = 0;
+        self.max_bits = 0;
+        self.bits_hist.clear();
+        self.all_done = false;
+        self.error = None;
     }
 }
 
@@ -720,7 +850,9 @@ fn observe_round(rec: &Recorder, msgs: u64, bits: u64, t0: Option<Instant>) {
 }
 
 /// Runs one round's activations for a chunk, mirroring the serial loop
-/// body exactly.
+/// body exactly. `out` must have been [`reset`](ChunkOut::reset) for
+/// this round; a broadcast stores its payload once in `out.arena` and
+/// emits one index event per edge.
 #[allow(clippy::too_many_arguments)]
 fn process_chunk<P: Protocol>(
     protocol: &P,
@@ -731,44 +863,23 @@ fn process_chunk<P: Protocol>(
     traced: bool,
     obs: bool,
     dest_chunk: &[u32],
-    chunk_count: usize,
     slot: &mut ChunkSlot<P>,
-) -> ChunkOut<P::Msg> {
+    out: &mut ChunkOut<P::Msg>,
+) {
     let n = g.n();
     let ChunkSlot {
         lo,
         states,
         halted,
-        inboxes,
+        inbox_entries,
+        arena,
     } = slot;
     let lo = *lo;
-    let mut out = ChunkOut {
-        events_by_dest: (0..chunk_count).map(|_| Vec::new()).collect(),
-        ..ChunkOut::empty()
-    };
-    let send = |out: &mut ChunkOut<P::Msg>, from: NodeId, to: NodeId, bits: usize, msg: P::Msg| {
-        if let Some(budget) = budget {
-            if bits > budget {
-                out.error = Some(SimulatorError::BandwidthExceeded {
-                    from,
-                    to,
-                    bits,
-                    budget,
-                });
-                return false;
-            }
-        }
-        out.messages += 1;
-        out.bits += bits as u64;
-        out.max_bits = out.max_bits.max(bits);
-        if obs {
-            out.bits_hist.observe(bits as u64);
-        }
-        if traced {
-            out.events_flat.push((from, to, bits));
-        }
-        out.events_by_dest[dest_chunk[to] as usize].push((from, to, msg));
-        true
+    let (inbox_entries, arena) = (&*inbox_entries, &*arena);
+    let push_msg = |out: &mut ChunkOut<P::Msg>, msg: P::Msg| -> u32 {
+        let idx = u32::try_from(out.arena.len()).expect("round arena exceeds u32::MAX messages");
+        out.arena.push(msg);
+        idx
     };
     for (off, state) in states.iter_mut().enumerate() {
         if halted[off] {
@@ -782,27 +893,72 @@ fn process_chunk<P: Protocol>(
             round,
             seed,
         };
-        match protocol.round(state, &info, &inboxes[off]) {
+        let inbox = Inbox::from_parts(&inbox_entries[off], arena);
+        match protocol.round(state, &info, &inbox) {
             Outgoing::Silent => {}
             Outgoing::Halt => halted[off] = true,
             Outgoing::Broadcast(msg) => {
+                let nbrs = g.neighbors(v);
+                if nbrs.is_empty() {
+                    continue;
+                }
                 let bits = msg.bit_size();
-                for &u in g.neighbors(v) {
-                    if !send(&mut out, v, u, bits, msg.clone()) {
-                        return out;
+                // One budget check per broadcast; the first neighbor is
+                // the reported edge, exactly like the serial engine.
+                if let Some(budget) = budget {
+                    if bits > budget {
+                        out.error = Some(SimulatorError::BandwidthExceeded {
+                            from: v,
+                            to: nbrs[0],
+                            bits,
+                            budget,
+                        });
+                        return;
                     }
+                }
+                out.messages += nbrs.len() as u64;
+                out.bits += (bits * nbrs.len()) as u64;
+                out.max_bits = out.max_bits.max(bits);
+                if obs {
+                    out.bits_hist.observe_n(bits as u64, nbrs.len() as u64);
+                }
+                let idx = push_msg(out, msg);
+                for &u in nbrs {
+                    if traced {
+                        out.events_flat.push((v, u, bits));
+                    }
+                    out.events_by_dest[dest_chunk[u] as usize].push((v, u, idx));
                 }
             }
             Outgoing::Unicast(list) => {
                 for (u, msg) in list {
                     if !g.has_edge(v, u) {
                         out.error = Some(SimulatorError::NotANeighbor { from: v, to: u });
-                        return out;
+                        return;
                     }
                     let bits = msg.bit_size();
-                    if !send(&mut out, v, u, bits, msg) {
-                        return out;
+                    if let Some(budget) = budget {
+                        if bits > budget {
+                            out.error = Some(SimulatorError::BandwidthExceeded {
+                                from: v,
+                                to: u,
+                                bits,
+                                budget,
+                            });
+                            return;
+                        }
                     }
+                    out.messages += 1;
+                    out.bits += bits as u64;
+                    out.max_bits = out.max_bits.max(bits);
+                    if obs {
+                        out.bits_hist.observe(bits as u64);
+                    }
+                    if traced {
+                        out.events_flat.push((v, u, bits));
+                    }
+                    let idx = push_msg(out, msg);
+                    out.events_by_dest[dest_chunk[u] as usize].push((v, u, idx));
                 }
             }
         }
@@ -811,32 +967,51 @@ fn process_chunk<P: Protocol>(
         .iter()
         .zip(states.iter())
         .all(|(h, s)| *h || protocol.is_done(s));
-    out
 }
 
 /// Rebuilds chunk `j`'s inboxes from every chunk's sends, visiting
-/// source chunks in ascending order — the exact serial push sequence —
-/// then stable-sorting each inbox by sender, as the serial engine does.
+/// source chunks in ascending order — the exact serial push sequence, so
+/// each inbox comes out sorted by sender with no per-round sort. Each
+/// payload that reaches this chunk is copied into the chunk-local arena
+/// once (a degree-d broadcast costs one clone per destination *chunk*,
+/// not one per edge); a broadcast's events for one destination chunk are
+/// consecutive, so the source-index of the previous event suffices to
+/// share the copy.
 fn deliver_chunk<P: Protocol>(
     slot: &mut ChunkSlot<P>,
     j: usize,
     outs: &[RwLock<ChunkOut<P::Msg>>],
 ) {
-    for ib in slot.inboxes.iter_mut() {
+    for ib in slot.inbox_entries.iter_mut() {
         ib.clear();
     }
+    slot.arena.clear();
     let lo = slot.lo;
     for out_lock in outs {
         let out = out_lock.read();
-        for (from, to, msg) in &out.events_by_dest[j] {
-            slot.inboxes[*to - lo].push((*from, msg.clone()));
+        // (source arena index, local arena index) of the last copied
+        // payload from this source chunk.
+        let mut last: Option<(u32, u32)> = None;
+        for &(from, to, src_idx) in &out.events_by_dest[j] {
+            let local = match last {
+                Some((s, l)) if s == src_idx => l,
+                _ => {
+                    let l = u32::try_from(slot.arena.len())
+                        .expect("round arena exceeds u32::MAX messages");
+                    slot.arena.push(out.arena[src_idx as usize].clone());
+                    last = Some((src_idx, l));
+                    l
+                }
+            };
+            slot.inbox_entries[to - lo].push((from, local));
         }
     }
-    for ib in slot.inboxes.iter_mut() {
-        // Deliver sorted by sender for determinism (stable, so a given
-        // sender's messages stay in emission order).
-        ib.sort_by_key(|&(s, _)| s);
-    }
+    debug_assert!(
+        slot.inbox_entries
+            .iter()
+            .all(|e| e.windows(2).all(|w| w[0].0 <= w[1].0)),
+        "inbox delivery out of order"
+    );
 }
 
 #[cfg(test)]
@@ -873,7 +1048,7 @@ mod tests {
             node: &NodeInfo,
             inbox: &Inbox<u64>,
         ) -> Outgoing<u64> {
-            for &(_, b) in inbox {
+            for (_, &b) in inbox {
                 state.best = state.best.max(b);
             }
             if node.round >= self.rounds {

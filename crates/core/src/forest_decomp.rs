@@ -176,7 +176,7 @@ impl arbmis_congest::Protocol for HPartitionProtocol {
         if st.done {
             return arbmis_congest::Outgoing::Halt;
         }
-        st.active_degree -= inbox.iter().filter(|&&(_, peeled)| peeled).count();
+        st.active_degree -= inbox.iter().filter(|&(_, &peeled)| peeled).count();
         if st.level.is_some() {
             // Announced last round; finished now.
             st.done = true;

@@ -110,6 +110,18 @@ impl Message for MisMsg {
             _ => Err(DecodeError::Invalid("unknown MisMsg tag")),
         }
     }
+
+    fn bit_size(&self) -> usize {
+        use arbmis_congest::message::varint_len;
+        let bytes = match self {
+            MisMsg::Priority(p) => 1 + varint_len(*p),
+            MisMsg::LubyMark { degree, .. } => 1 + varint_len(*degree) + 1,
+            MisMsg::GhaffariMark { exponent, .. } => 1 + varint_len(u64::from(*exponent)) + 1,
+            MisMsg::Join(_) | MisMsg::Exit(_) => 2,
+            MisMsg::Degree(d) => 1 + varint_len(*d),
+        };
+        bytes * 8
+    }
 }
 
 /// Common per-node bookkeeping for the three-phase skeleton.
@@ -149,7 +161,7 @@ impl MisNodeState {
     fn process_exits(&mut self, inbox: &Inbox<MisMsg>) {
         for (s, m) in inbox {
             if matches!(m, MisMsg::Exit(true)) {
-                if let Ok(pos) = self.active_nbrs.binary_search(s) {
+                if let Ok(pos) = self.active_nbrs.binary_search(&s) {
                     self.active_nbrs.remove(pos);
                 }
             }
@@ -210,7 +222,7 @@ impl Protocol for MetivierProtocol {
             }
             1 => {
                 let pv = metivier::priority(node.seed, node.id, iter, node.n);
-                let wins = inbox.iter().all(|&(s, ref m)| match m {
+                let wins = inbox.iter().all(|(s, m)| match m {
                     MisMsg::Priority(p) => pv > (*p, s),
                     _ => true,
                 });
@@ -266,7 +278,7 @@ impl Protocol for LubyProtocol {
                     true
                 } else if luby::is_marked(node.seed, node.id, iter, d) {
                     let key = (d as u64, node.id);
-                    inbox.iter().all(|&(s, ref m)| match m {
+                    inbox.iter().all(|(s, m)| match m {
                         MisMsg::LubyMark { degree, marked } => !*marked || (*degree, s) < key,
                         _ => true,
                     })
@@ -421,7 +433,7 @@ impl Protocol for BoundedArbProtocol {
                 1 => {
                     let p = self.my_priority(state, node, scale, global_iter);
                     let wins = p > 0
-                        && inbox.iter().all(|&(s, ref m)| match m {
+                        && inbox.iter().all(|(s, m)| match m {
                             MisMsg::Priority(q) => (p, node.id) > (*q, s),
                             _ => true,
                         });
@@ -682,6 +694,11 @@ mod tests {
         for m in msgs {
             assert!(m.bit_size() >= 8, "{m:?} must at least carry its tag");
             assert!(m.bit_size() <= 96, "{m:?} too large");
+            // The arithmetic bit_size override must agree with the wire
+            // encoding it claims to measure.
+            let mut buf = Vec::new();
+            m.encode(&mut buf);
+            assert_eq!(m.bit_size(), buf.len() * 8, "{m:?} bit_size mismatch");
         }
     }
 }

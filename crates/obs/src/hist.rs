@@ -73,6 +73,40 @@ impl Histogram {
         self.sum += value;
     }
 
+    /// Records `count` observations of the same `value` — the batched
+    /// form broadcast hot paths use (one bucket update for all copies of
+    /// a message). Equivalent to calling [`observe`](Self::observe)
+    /// `count` times.
+    pub fn observe_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let b = Self::bucket_index(value);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += count;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += count;
+        self.sum += value * count;
+    }
+
+    /// Empties the histogram while keeping the bucket allocation, so a
+    /// per-round scratch histogram can be refilled without reallocating.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.count = 0;
+        self.sum = 0;
+        self.min = 0;
+        self.max = 0;
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -235,6 +269,36 @@ mod tests {
         }
         c.merge(&d);
         assert_eq!(c, whole);
+    }
+
+    #[test]
+    fn observe_n_equals_repeated_observe() {
+        let mut batched = Histogram::new();
+        batched.observe_n(6, 4);
+        batched.observe_n(0, 2);
+        batched.observe_n(9, 0); // no-op
+        let mut single = Histogram::new();
+        for _ in 0..4 {
+            single.observe(6);
+        }
+        for _ in 0..2 {
+            single.observe(0);
+        }
+        assert_eq!(batched, single);
+    }
+
+    #[test]
+    fn clear_resets_to_empty() {
+        let mut h = Histogram::new();
+        h.observe_n(1000, 3);
+        h.observe(1);
+        h.clear();
+        assert_eq!(h, Histogram::new());
+        // Refill after clear behaves like a fresh histogram.
+        h.observe(4);
+        let mut fresh = Histogram::new();
+        fresh.observe(4);
+        assert_eq!(h, fresh);
     }
 
     #[test]

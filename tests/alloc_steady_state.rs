@@ -1,0 +1,116 @@
+//! Pins the zero-allocation steady state of the serial engine's message
+//! plane: once the double-buffered arena and inbox entry lists have grown
+//! to their working size (warmup), further rounds must not allocate.
+//!
+//! Strategy: run the same constant-traffic protocol for R rounds and for
+//! 8R rounds under a counting global allocator. Both runs allocate the
+//! same warmup set from scratch (states, planes, histogram buckets), so if
+//! steady-state rounds allocate nothing the two totals are *equal*; any
+//! per-round allocation would show up multiplied by the extra 7R rounds.
+//!
+//! This file holds exactly one test so no concurrent test pollutes the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use arbmis::congest::{Inbox, NodeInfo, Outgoing, Parallelism, Protocol, Simulator};
+
+/// Every node broadcasts the constant `1` each round (constant per-round
+/// traffic, constant message size, constant histogram bucket set) and
+/// halts after `rounds` rounds.
+#[derive(Clone, Copy, Debug)]
+struct Chatter {
+    rounds: u64,
+}
+
+#[derive(Clone, Debug)]
+struct ChatterState {
+    heard: u64,
+    done: bool,
+}
+
+impl Protocol for Chatter {
+    type State = ChatterState;
+    type Msg = u64;
+
+    fn init(&self, _node: &NodeInfo) -> ChatterState {
+        ChatterState {
+            heard: 0,
+            done: false,
+        }
+    }
+
+    fn round(&self, st: &mut ChatterState, node: &NodeInfo, inbox: &Inbox<u64>) -> Outgoing<u64> {
+        for (_, &m) in inbox {
+            st.heard += m;
+        }
+        if node.round >= self.rounds {
+            st.done = true;
+            Outgoing::Halt
+        } else {
+            Outgoing::Broadcast(1)
+        }
+    }
+
+    fn is_done(&self, st: &ChatterState) -> bool {
+        st.done
+    }
+}
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn serial_engine_steady_state_allocates_nothing() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let g = arbmis::graph::gen::gnp(400, 0.05, &mut rng);
+
+    let run = |rounds: u64| {
+        let proto = Chatter { rounds };
+        let out = Simulator::new(&g, 3)
+            .with_parallelism(Parallelism::Serial)
+            .run(&proto, rounds + 10)
+            .unwrap();
+        assert_eq!(out.metrics.rounds, rounds + 1);
+        std::hint::black_box(out);
+    };
+
+    // Warm up lazy runtime state (thread-locals, etc.) outside the window.
+    run(4);
+
+    let short = allocs_during(|| run(32));
+    let long = allocs_during(|| run(256));
+    assert_eq!(
+        short, long,
+        "serial engine allocated in steady-state rounds: \
+         {short} allocations over 32 rounds vs {long} over 256"
+    );
+}
