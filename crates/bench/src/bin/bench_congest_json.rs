@@ -29,6 +29,10 @@ const MAX_ROUNDS: u64 = 100_000;
 struct BenchDoc {
     schema: String,
     samples: u64,
+    /// Core count of the machine that produced the numbers — without it
+    /// the `threads_parallel` timings are uninterpretable across hosts.
+    #[serde(default)]
+    host_threads: u64,
     threads_parallel: u64,
     workloads: Vec<BenchEntry>,
 }
@@ -160,6 +164,7 @@ fn main() {
     let doc = BenchDoc {
         schema: "bench_congest/v1".to_string(),
         samples: samples as u64,
+        host_threads: threads as u64,
         threads_parallel: threads as u64,
         workloads: entries,
     };

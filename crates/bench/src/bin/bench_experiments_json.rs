@@ -1,0 +1,178 @@
+//! Machine-readable bench of the experiment cell scheduler: measures the
+//! full `--quick` suite sequentially (legacy `run_serial` path), then
+//! scheduled at worker counts {1, 2, 4, 8}, then a cold + warm
+//! content-addressed cache pass, and writes `BENCH_experiments.json` so
+//! the scheduler's perf trajectory accumulates across commits.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_experiments_json [--out PATH] [--full] [--cache-dir PATH]
+//! ```
+//!
+//! Every configuration produces byte-identical reports (asserted here as
+//! a safety net on top of the integration tests); only wall-clock
+//! differs. `host_threads` records the core count of the measuring
+//! machine — speedup numbers are meaningless without it.
+
+use arbmis_bench::cache::{set_global_cache, Cache};
+use arbmis_bench::cell::ExperimentPlan;
+use arbmis_bench::exps;
+use arbmis_bench::sched::{cell_count, run_scheduled};
+use arbmis_congest::Parallelism;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchDoc {
+    schema: String,
+    quick: bool,
+    /// Core count of the measuring machine.
+    host_threads: u64,
+    experiments: u64,
+    cells: u64,
+    /// Legacy sequential path: every plan `run_serial()` in order.
+    sequential_wall_ns: u64,
+    sequential_cells_per_sec: f64,
+    /// Scheduled (work-stealing pool, no cache) at each worker count.
+    scheduled: Vec<ScheduledEntry>,
+    cache: CachePass,
+}
+
+#[derive(Serialize)]
+struct ScheduledEntry {
+    threads: u64,
+    wall_ns: u64,
+    cells_per_sec: f64,
+    speedup_vs_sequential: f64,
+}
+
+#[derive(Serialize)]
+struct CachePass {
+    cold_wall_ns: u64,
+    cold_hit_rate: f64,
+    warm_wall_ns: u64,
+    warm_hit_rate: f64,
+    warm_speedup_vs_cold: f64,
+}
+
+fn plans(quick: bool) -> Vec<ExperimentPlan> {
+    exps::all().into_iter().map(|(_, _, f)| f(quick)).collect()
+}
+
+fn main() {
+    let mut out_path = "BENCH_experiments.json".to_string();
+    let mut quick = true;
+    let mut cache_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--full" => quick = false,
+            "--cache-dir" => cache_dir = Some(args.next().expect("--cache-dir needs a path")),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1) as u64;
+
+    let probe = plans(quick);
+    let (experiments, cells) = (probe.len() as u64, cell_count(&probe) as u64);
+    drop(probe);
+
+    // Sequential baseline: the pre-scheduler execution shape.
+    set_global_cache(None);
+    let t0 = Instant::now();
+    let baseline: Vec<String> = plans(quick)
+        .into_iter()
+        .map(|p| serde_json::to_string(&p.run_serial()).unwrap())
+        .collect();
+    let sequential_wall_ns = t0.elapsed().as_nanos() as u64;
+    let cells_per_sec = |wall_ns: u64| cells as f64 / (wall_ns as f64 / 1e9);
+    eprintln!(
+        "sequential: {cells} cells in {:.2}s",
+        sequential_wall_ns as f64 / 1e9
+    );
+
+    let render = |outcome: &arbmis_bench::sched::SchedOutcome| -> Vec<String> {
+        outcome
+            .reports
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect()
+    };
+
+    let mut scheduled = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let outcome = run_scheduled(plans(quick), Parallelism::Threads(threads));
+        assert_eq!(
+            render(&outcome),
+            baseline,
+            "threads={threads} must not change bytes"
+        );
+        let wall_ns = outcome.stats.wall.as_nanos() as u64;
+        eprintln!(
+            "scheduled threads={threads}: {:.2}s ({:.2}x)",
+            wall_ns as f64 / 1e9,
+            sequential_wall_ns as f64 / wall_ns as f64
+        );
+        scheduled.push(ScheduledEntry {
+            threads: threads as u64,
+            wall_ns,
+            cells_per_sec: cells_per_sec(wall_ns),
+            speedup_vs_sequential: sequential_wall_ns as f64 / wall_ns as f64,
+        });
+    }
+
+    // Cold + warm cache pass in a scratch (or caller-chosen) directory.
+    let dir = cache_dir.unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("arbmis-bench-cache-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    set_global_cache(Some(Arc::new(Cache::open(&dir).expect("open cache dir"))));
+    let cold = run_scheduled(plans(quick), Parallelism::Auto);
+    assert_eq!(render(&cold), baseline, "cold cache must not change bytes");
+    set_global_cache(Some(Arc::new(Cache::open(&dir).expect("open cache dir"))));
+    let warm = run_scheduled(plans(quick), Parallelism::Auto);
+    assert_eq!(render(&warm), baseline, "warm cache must not change bytes");
+    set_global_cache(None);
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold_ns = cold.stats.wall.as_nanos() as u64;
+    let warm_ns = warm.stats.wall.as_nanos() as u64;
+    eprintln!(
+        "cache: cold {:.2}s ({:.0}% hits) → warm {:.3}s ({:.0}% hits)",
+        cold_ns as f64 / 1e9,
+        cold.stats.hit_rate() * 100.0,
+        warm_ns as f64 / 1e9,
+        warm.stats.hit_rate() * 100.0
+    );
+
+    let doc = BenchDoc {
+        schema: "bench_experiments/v1".to_string(),
+        quick,
+        host_threads,
+        experiments,
+        cells,
+        sequential_wall_ns,
+        sequential_cells_per_sec: cells_per_sec(sequential_wall_ns),
+        scheduled,
+        cache: CachePass {
+            cold_wall_ns: cold_ns,
+            cold_hit_rate: cold.stats.hit_rate(),
+            warm_wall_ns: warm_ns,
+            warm_hit_rate: warm.stats.hit_rate(),
+            warm_speedup_vs_cold: cold_ns as f64 / warm_ns.max(1) as f64,
+        },
+    };
+    let text = serde_json::to_string_pretty(&doc).expect("serializing the JSON artifact");
+    std::fs::write(&out_path, text + "\n").expect("writing the JSON artifact");
+    eprintln!("wrote {out_path}");
+}

@@ -1,5 +1,5 @@
 //! Regenerates every quantitative claim of the paper (experiment index
-//! E1–E14; see DESIGN.md §4 and EXPERIMENTS.md).
+//! E1–E16; see DESIGN.md §4 and EXPERIMENTS.md).
 //!
 //! ```sh
 //! experiments                 # run the full suite (text to stdout)
@@ -8,21 +8,34 @@
 //! experiments --quick         # reduced sizes (used in CI/tests)
 //! experiments --markdown      # markdown rendering (for EXPERIMENTS.md)
 //! experiments --json out.json # machine-readable results
-//! experiments --threads 4     # simulator/Monte-Carlo worker threads
+//! experiments --threads 4     # cells in flight on the worker pool
 //!                             # (0 = auto, 1 = serial; results identical)
+//! experiments --cache-dir D   # graph/result cache root (default
+//!                             # target/arbmis-cache)
+//! experiments --no-cache      # recompute everything, touch no disk state
 //! experiments --metrics-out m.prom  # Prometheus text exposition of the run
 //! experiments --trace-out t.jsonl   # JSONL span/event log of the run
 //! ```
+//!
+//! Experiments are decomposed into cells and fanned onto one shared
+//! work-stealing pool; reports are reduced in deterministic cell order,
+//! so `--threads N`, `--no-cache`, and cache temperature never change a
+//! report byte (DESIGN.md §9) — only the stderr status lines.
 //!
 //! `--metrics-out` / `--trace-out` install a process-wide recorder
 //! (`arbmis_obs::set_global`); per DESIGN.md §8 this never changes any
 //! experiment result — the `--json` report is byte-identical with and
 //! without them (CI diffs exactly that).
 
-use arbmis_bench::exps;
+use arbmis_bench::cache::{set_global_cache, Cache};
+use arbmis_bench::sched::{cell_count, run_scheduled};
 use arbmis_bench::ExperimentReport;
 use arbmis_congest::Parallelism;
 use std::io::Write as _;
+use std::sync::Arc;
+
+/// Default on-disk cache root (relative to the working directory).
+const DEFAULT_CACHE_DIR: &str = "target/arbmis-cache";
 
 struct Args {
     quick: bool,
@@ -31,6 +44,8 @@ struct Args {
     json: Option<String>,
     selected: Vec<String>,
     threads: Option<usize>,
+    cache_dir: Option<String>,
+    no_cache: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
 }
@@ -43,6 +58,8 @@ fn parse_args() -> Args {
         json: None,
         selected: Vec::new(),
         threads: None,
+        cache_dir: None,
+        no_cache: false,
         metrics_out: None,
         trace_out: None,
     };
@@ -59,6 +76,10 @@ fn parse_args() -> Args {
                 let v = it.next().expect("--threads needs a count");
                 args.threads = Some(v.parse().expect("--threads needs an integer"));
             }
+            "--cache-dir" => {
+                args.cache_dir = Some(it.next().expect("--cache-dir needs a path"));
+            }
+            "--no-cache" => args.no_cache = true,
             "--metrics-out" => {
                 args.metrics_out = Some(it.next().expect("--metrics-out needs a path"));
             }
@@ -71,7 +92,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--list] [--quick] [--markdown] [--json PATH] \
-                     [--threads N] [--metrics-out PATH] [--trace-out PATH] [--exp E1 E2 ...]"
+                     [--threads N] [--cache-dir PATH] [--no-cache] [--metrics-out PATH] \
+                     [--trace-out PATH] [--exp E1 E2 ...]"
                 );
                 std::process::exit(0);
             }
@@ -89,35 +111,62 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    let registry = arbmis_bench::exps::all();
     if args.list {
-        for (id, desc, _) in exps::all() {
+        for (id, desc, _) in registry {
             println!("{id:<4} {desc}");
         }
         return;
     }
-    if let Some(t) = args.threads {
-        // One global policy for both the CONGEST round engine and the
-        // read-k Monte-Carlo driver; every experiment is thread-count
-        // invariant, so this only changes wall-clock.
-        let policy = match t {
-            0 => Parallelism::Auto,
-            1 => Parallelism::Serial,
-            t => Parallelism::Threads(t),
-        };
-        arbmis_congest::set_default_parallelism(policy);
-        eprintln!("[experiments] parallelism: {policy:?}");
+    // Validate every requested id up front: an unknown id is an error,
+    // never a silent skip.
+    let unknown: Vec<&str> = args
+        .selected
+        .iter()
+        .filter(|s| !registry.iter().any(|(id, _, _)| id == s))
+        .map(String::as_str)
+        .collect();
+    if !unknown.is_empty() {
+        let valid: Vec<&str> = registry.iter().map(|(id, _, _)| *id).collect();
+        eprintln!(
+            "unknown experiment id(s): {} (valid: {})",
+            unknown.join(" "),
+            valid.join(" ")
+        );
+        std::process::exit(2);
+    }
+    let parallelism = match args.threads {
+        None | Some(0) => Parallelism::Auto,
+        Some(1) => Parallelism::Serial,
+        Some(t) => Parallelism::Threads(t),
+    };
+    if args.no_cache {
+        set_global_cache(None);
+        eprintln!("[experiments] cache: disabled");
+    } else {
+        let dir = args.cache_dir.as_deref().unwrap_or(DEFAULT_CACHE_DIR);
+        match Cache::open(dir) {
+            Ok(cache) => {
+                eprintln!("[experiments] cache: {dir}");
+                set_global_cache(Some(Arc::new(cache)));
+            }
+            Err(e) => {
+                eprintln!("[experiments] cache disabled ({dir}: {e})");
+                set_global_cache(None);
+            }
+        }
     }
     let observing = args.metrics_out.is_some() || args.trace_out.is_some();
     let recorder = if observing {
         // One process-wide recorder feeds the simulator, the ArbMIS
-        // pipeline, and the Monte-Carlo driver for the whole run.
+        // pipeline, the Monte-Carlo driver, and the cell scheduler for
+        // the whole run.
         let rec = arbmis_obs::Recorder::new();
         arbmis_obs::set_global(rec.clone());
         Some(rec)
     } else {
         None
     };
-    let registry = exps::all();
     let to_run: Vec<_> = registry
         .into_iter()
         .filter(|(id, _, _)| args.selected.is_empty() || args.selected.iter().any(|s| s == id))
@@ -127,21 +176,35 @@ fn main() {
         std::process::exit(2);
     }
 
-    let mut reports: Vec<ExperimentReport> = Vec::new();
-    for (id, _desc, runner) in to_run {
-        eprintln!(
-            "[experiments] running {id} ({}mode)…",
-            if args.quick { "quick " } else { "" }
-        );
-        let start = std::time::Instant::now();
-        let report = runner(args.quick);
-        eprintln!("[experiments] {id} done in {:.1?}", start.elapsed());
+    let ids: Vec<&str> = to_run.iter().map(|(id, _, _)| *id).collect();
+    let plans: Vec<_> = to_run
+        .iter()
+        .map(|(_, _, plan_fn)| plan_fn(args.quick))
+        .collect();
+    eprintln!(
+        "[experiments] {} experiment(s) [{}] resolved to {} cells ({}mode, {parallelism:?})",
+        plans.len(),
+        ids.join(" "),
+        cell_count(&plans),
+        if args.quick { "quick " } else { "" }
+    );
+    let outcome = run_scheduled(plans, parallelism);
+    eprintln!(
+        "[experiments] done in {:.1?}: {} cells on {} worker(s), cell cache {}/{} hits ({:.0}%)",
+        outcome.stats.wall,
+        outcome.stats.cells,
+        outcome.stats.workers,
+        outcome.stats.cell_hits,
+        outcome.stats.cells,
+        outcome.stats.hit_rate() * 100.0
+    );
+    let reports: Vec<ExperimentReport> = outcome.reports;
+    for report in &reports {
         if args.markdown {
             println!("{}", report.to_markdown());
         } else {
             println!("{}", report.to_text());
         }
-        reports.push(report);
     }
 
     if let Some(path) = args.json {

@@ -1,0 +1,359 @@
+//! Content-addressed on-disk cache for generated graphs and completed
+//! cell results.
+//!
+//! Entries are addressed by an FNV-1a 128 digest
+//! ([`arbmis_graph::digest`] — frozen arithmetic, not `std::hash`) of
+//! `(CODE_SALT, namespace, key)`. The salt names the cell/cache code
+//! generation: bumping it on any change that could alter cell outputs
+//! orphans every stale entry at once, with no manual eviction protocol.
+//! Within one salt generation a key is immutable — the same digest
+//! always stores the same bytes — which is what makes a warm-cache run
+//! byte-identical to a cold one (DESIGN.md §9).
+//!
+//! Each entry is one file `<dir>/<namespace>/<digest>.entry` holding a
+//! header line (`arbmis-cache v1 <checksum> <len>`) followed by the
+//! payload; the checksum is verified on every read, so a truncated or
+//! corrupted entry is *rejected and deleted*, and the caller recomputes
+//! — poisoning degrades to a cache miss, never to wrong results. Writes
+//! go to a temp file first and are published by `rename`, so concurrent
+//! writers and readers only ever see complete entries.
+
+use arbmis_graph::digest::{checksum64, Fnv128};
+use arbmis_graph::gen::GraphSpec;
+use arbmis_graph::{io as graph_io, Graph};
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The code-version salt mixed into every cache digest. Bump whenever a
+/// generator, experiment cell, or the cache payload encoding changes in
+/// a way that could alter stored bytes.
+pub const CODE_SALT: &str = "arbmis-cells-v1";
+
+/// Entry-file magic + format version.
+const MAGIC: &str = "arbmis-cache v1";
+
+/// Cache hit/miss tallies. These depend on prior process runs (disk
+/// state), so they are *timing-class* data under the DESIGN.md §8
+/// quarantine — never put them in deterministic output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries served from memory or disk.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries found but rejected (checksum/format mismatch) — counted
+    /// in addition to the miss they become.
+    pub rejected: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A content-addressed cache rooted at one directory.
+pub struct Cache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+    /// In-memory graph memo so one process never loads or generates the
+    /// same `(spec, seed)` twice, keyed by entry digest.
+    graph_memo: Mutex<HashMap<String, Arc<Graph>>>,
+}
+
+impl Cache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Cache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Cache {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            graph_memo: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The cache root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current hit/miss tallies.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The digest addressing `(CODE_SALT, namespace, key)`.
+    fn digest(namespace: &str, key: &str) -> String {
+        let mut h = Fnv128::new();
+        h.write_str(CODE_SALT).write_str(namespace).write_str(key);
+        h.hex()
+    }
+
+    /// The on-disk path an entry would live at (exposed so tests and CI
+    /// can corrupt or inspect specific entries).
+    pub fn entry_path(&self, namespace: &str, key: &str) -> PathBuf {
+        self.dir
+            .join(namespace)
+            .join(format!("{}.entry", Self::digest(namespace, key)))
+    }
+
+    /// Looks up an entry, verifying its checksum. Rejected (corrupt)
+    /// entries are deleted and reported as misses.
+    pub fn get(&self, namespace: &str, key: &str) -> Option<Vec<u8>> {
+        let path = self.entry_path(namespace, key);
+        let Ok(bytes) = fs::read(&path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match Self::decode(&bytes) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores an entry (atomic publish via temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; callers typically treat a failed store
+    /// as best-effort and continue.
+    pub fn put(&self, namespace: &str, key: &str, payload: &[u8]) -> io::Result<()> {
+        let path = self.entry_path(namespace, key);
+        let parent = path.parent().expect("entry path always has a parent");
+        fs::create_dir_all(parent)?;
+        let mut framed =
+            format!("{MAGIC} {:016x} {}\n", checksum64(payload), payload.len()).into_bytes();
+        framed.extend_from_slice(payload);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, &framed)?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Splits a raw entry file into its verified payload.
+    fn decode(bytes: &[u8]) -> Option<Vec<u8>> {
+        let newline = bytes.iter().position(|&b| b == b'\n')?;
+        let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+        let rest = &bytes[newline + 1..];
+        let fields = header.strip_prefix(MAGIC)?;
+        let mut it = fields.split_whitespace();
+        let sum = u64::from_str_radix(it.next()?, 16).ok()?;
+        let len: usize = it.next()?.parse().ok()?;
+        if it.next().is_some() || rest.len() != len || checksum64(rest) != sum {
+            return None;
+        }
+        Some(rest.to_vec())
+    }
+
+    /// The generated graph for `(spec, seed)`: from the in-process memo,
+    /// else from disk (edge-list payload), else generated and stored.
+    /// The returned graph is structurally identical on every path — the
+    /// edge-list round trip is lossless — so results never depend on
+    /// cache temperature.
+    pub fn graph(&self, spec: &GraphSpec, seed: u64) -> Arc<Graph> {
+        let key = graph_key(spec, seed);
+        let digest = Self::digest(NS_GRAPH, &key);
+        if let Some(g) = self.graph_memo.lock().unwrap().get(&digest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(g);
+        }
+        let g = match self.get(NS_GRAPH, &key).and_then(|payload| {
+            let g = graph_io::parse_edge_list(std::str::from_utf8(&payload).ok()?).ok()?;
+            Some(g)
+        }) {
+            Some(g) => Arc::new(g),
+            None => {
+                let g = Arc::new(generate(spec, seed));
+                let mut payload = Vec::new();
+                graph_io::write_edge_list(&g, &mut payload).expect("writing to a Vec cannot fail");
+                let _ = self.put(NS_GRAPH, &key, &payload);
+                g
+            }
+        };
+        self.graph_memo
+            .lock()
+            .unwrap()
+            .entry(digest)
+            .or_insert_with(|| Arc::clone(&g));
+        g
+    }
+}
+
+/// Namespace for generated-graph entries.
+pub const NS_GRAPH: &str = "graph";
+/// Namespace for completed cell results.
+pub const NS_CELL: &str = "cell";
+
+/// The canonical cache key for a generated graph.
+fn graph_key(spec: &GraphSpec, seed: u64) -> String {
+    format!("{};seed={seed}", spec.stable_key())
+}
+
+/// Generates `(spec, seed)` from scratch — the cache's ground truth.
+fn generate(spec: &GraphSpec, seed: u64) -> Graph {
+    spec.generate(&mut rand::rngs::StdRng::seed_from_u64(seed))
+}
+
+/// Process-wide cache handle, set once by the CLI (`--cache-dir` /
+/// `--no-cache`). `None` means caching is off and every lookup
+/// recomputes.
+static GLOBAL: Mutex<Option<Arc<Cache>>> = Mutex::new(None);
+
+/// Installs (or clears) the process-wide cache.
+pub fn set_global_cache(cache: Option<Arc<Cache>>) {
+    *GLOBAL.lock().unwrap() = cache;
+}
+
+/// The process-wide cache, if one is installed.
+pub fn global_cache() -> Option<Arc<Cache>> {
+    GLOBAL.lock().unwrap().clone()
+}
+
+/// Generates `(spec, seed)` through the process-wide cache when one is
+/// installed, from scratch otherwise. Experiment cells route all graph
+/// construction through this so warm reruns skip generation entirely.
+pub fn cached_graph(spec: &GraphSpec, seed: u64) -> Arc<Graph> {
+    match global_cache() {
+        Some(cache) => cache.graph(spec, seed),
+        None => Arc::new(generate(spec, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbmis_graph::gen::GraphFamily;
+
+    fn tmp_cache(tag: &str) -> Cache {
+        let dir =
+            std::env::temp_dir().join(format!("arbmis-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Cache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_and_stats() {
+        let c = tmp_cache("roundtrip");
+        assert_eq!(c.get(NS_CELL, "k"), None);
+        c.put(NS_CELL, "k", b"payload").unwrap();
+        assert_eq!(c.get(NS_CELL, "k").as_deref(), Some(&b"payload"[..]));
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                rejected: 0
+            }
+        );
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+        let _ = fs::remove_dir_all(c.dir());
+    }
+
+    #[test]
+    fn distinct_keys_and_namespaces_do_not_collide() {
+        let c = tmp_cache("collide");
+        c.put(NS_CELL, "a", b"1").unwrap();
+        c.put(NS_CELL, "b", b"2").unwrap();
+        c.put(NS_GRAPH, "a", b"3").unwrap();
+        assert_eq!(c.get(NS_CELL, "a").as_deref(), Some(&b"1"[..]));
+        assert_eq!(c.get(NS_CELL, "b").as_deref(), Some(&b"2"[..]));
+        assert_eq!(c.get(NS_GRAPH, "a").as_deref(), Some(&b"3"[..]));
+        let _ = fs::remove_dir_all(c.dir());
+    }
+
+    #[test]
+    fn corrupted_entry_is_rejected_and_deleted() {
+        let c = tmp_cache("poison");
+        c.put(NS_CELL, "k", b"good payload").unwrap();
+        let path = c.entry_path(NS_CELL, "k");
+        // Flip payload bytes without fixing the checksum.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(c.get(NS_CELL, "k"), None, "corrupt entry must not serve");
+        assert!(!path.exists(), "corrupt entry must be evicted");
+        assert_eq!(c.stats().rejected, 1);
+        // Truncation is also caught.
+        c.put(NS_CELL, "k", b"good payload").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(c.get(NS_CELL, "k"), None);
+        assert_eq!(c.stats().rejected, 2);
+        let _ = fs::remove_dir_all(c.dir());
+    }
+
+    #[test]
+    fn graph_identical_across_memo_disk_and_generation() {
+        let spec = GraphSpec::new(GraphFamily::ForestUnion { alpha: 2 }, 200);
+        let fresh = generate(&spec, 7);
+        let c = tmp_cache("graph");
+        let g1 = c.graph(&spec, 7); // generated + stored
+        let g2 = c.graph(&spec, 7); // memo
+        assert_eq!(*g1, fresh);
+        assert!(Arc::ptr_eq(&g1, &g2));
+        drop(c);
+        // A fresh handle on the same dir reads the disk entry.
+        let c2 = Cache::open(
+            std::env::temp_dir().join(format!("arbmis-cache-test-graph-{}", std::process::id())),
+        )
+        .unwrap();
+        let g3 = c2.graph(&spec, 7);
+        assert_eq!(*g3, fresh);
+        assert_eq!(c2.stats().hits, 1);
+        // Different seed is a different graph and a different entry.
+        let g4 = c2.graph(&spec, 8);
+        assert_ne!(*g4, fresh);
+        let _ = fs::remove_dir_all(c2.dir());
+    }
+
+    #[test]
+    fn salt_is_part_of_the_address() {
+        // The digest must move if the salt does; pin the current mapping
+        // so accidental digest-scheme changes are caught.
+        let d = Cache::digest(NS_CELL, "key");
+        let mut h = Fnv128::new();
+        h.write_str(CODE_SALT).write_str(NS_CELL).write_str("key");
+        assert_eq!(d, h.hex());
+    }
+
+    #[test]
+    fn cached_graph_without_global_cache_generates() {
+        let spec = GraphSpec::new(GraphFamily::KTree { k: 2 }, 64);
+        // Not installing a global cache here: global state is exercised
+        // by the integration suite to avoid cross-test interference.
+        let g = cached_graph(&spec, 3);
+        assert_eq!(*g, generate(&spec, 3));
+    }
+}

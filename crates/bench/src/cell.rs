@@ -1,0 +1,224 @@
+//! The cell decomposition of an experiment.
+//!
+//! A **cell** is the scheduler's unit of work: one (config, seed-range)
+//! slice of an experiment, run by a pure function of its inputs. An
+//! experiment is an [`ExperimentPlan`] — an ordered list of cells plus a
+//! `reduce` closure that folds the per-cell outputs (in *cell index
+//! order*, never completion order) into the final
+//! [`ExperimentReport`](crate::ExperimentReport). Because every cell is
+//! pure and reduction order is fixed, scheduling cells across any number
+//! of workers — or replaying them from the on-disk cache — cannot change
+//! a single output byte (DESIGN.md §9).
+//!
+//! Cell boundaries follow one rule: **a floating-point accumulation is
+//! never split across cells.** Integer tallies (success counts, failure
+//! counts) are order-invariant and may be chunked by seed range; `f64`
+//! sums and means are not, so experiments that pool real-valued
+//! statistics keep the whole seed loop inside one cell.
+
+use crate::ExperimentReport;
+use serde::{Deserialize, Serialize};
+
+/// The serializable output of one cell: table-row fragments plus named
+/// scalars for the reduce step.
+///
+/// Everything is exact under serialization — rows are strings and
+/// scalars store IEEE-754 bit patterns — so a cell output read back from
+/// the cache is indistinguishable from a freshly computed one.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CellOut {
+    /// Row-major table cells this cell contributes, already formatted.
+    pub rows: Vec<Vec<String>>,
+    /// Named scalar results, stored as `f64::to_bits` patterns so the
+    /// JSON round trip is bit-exact (and NaN-safe). Kept sorted by name
+    /// so the serialized form is canonical.
+    pub scalars: Vec<(String, u64)>,
+}
+
+impl CellOut {
+    /// An output consisting of the given rows.
+    pub fn from_rows(rows: Vec<Vec<String>>) -> Self {
+        CellOut {
+            rows,
+            scalars: Vec::new(),
+        }
+    }
+
+    /// Stores a named scalar (bit-exact under caching), replacing any
+    /// previous value under the same name.
+    pub fn put(&mut self, key: &str, value: f64) {
+        match self.scalars.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.scalars[i].1 = value.to_bits(),
+            Err(i) => self.scalars.insert(i, (key.to_string(), value.to_bits())),
+        }
+    }
+
+    /// Reads a named scalar back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was never stored — a cell/reduce contract bug.
+    pub fn get(&self, key: &str) -> f64 {
+        match self.scalars.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => f64::from_bits(self.scalars[i].1),
+            Err(_) => panic!("cell output missing scalar {key:?}"),
+        }
+    }
+
+    /// Reads a named scalar back, `None` if never stored.
+    pub fn try_get(&self, key: &str) -> Option<f64> {
+        self.scalars
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| f64::from_bits(self.scalars[i].1))
+    }
+
+    /// Serializes to the canonical cache payload (compact JSON).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("CellOut serialization cannot fail")
+            .into_bytes()
+    }
+
+    /// Deserializes a cache payload; `None` on any malformed input (the
+    /// cache treats that as a miss).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        serde_json::from_str(std::str::from_utf8(bytes).ok()?).ok()
+    }
+}
+
+/// One schedulable unit of work.
+pub struct Cell {
+    /// Human-readable label for progress/tracing, e.g. `E9/ba(m=2)`.
+    pub label: String,
+    /// Cache-key material. Must uniquely determine the cell's output:
+    /// experiment id, quick flag, config, and seed range all belong in
+    /// here. The cache layer mixes in the code-version salt.
+    pub key: String,
+    /// The pure work function.
+    pub run: Box<dyn Fn() -> CellOut + Send + Sync>,
+}
+
+impl Cell {
+    /// Creates a cell.
+    pub fn new<F>(label: impl Into<String>, key: impl Into<String>, run: F) -> Self
+    where
+        F: Fn() -> CellOut + Send + Sync + 'static,
+    {
+        Cell {
+            label: label.into(),
+            key: key.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+impl std::fmt::Debug for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cell")
+            .field("label", &self.label)
+            .field("key", &self.key)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A plan's reduction: folds per-cell outputs (index order) into the
+/// final report.
+pub type ReduceFn = Box<dyn FnOnce(Vec<CellOut>) -> ExperimentReport + Send>;
+
+/// An experiment decomposed into cells plus its reduction.
+pub struct ExperimentPlan {
+    /// Experiment id, e.g. `"E9"`.
+    pub id: &'static str,
+    /// The cells, in reduction order.
+    pub cells: Vec<Cell>,
+    /// Folds per-cell outputs (index order) into the final report.
+    pub reduce: ReduceFn,
+}
+
+impl ExperimentPlan {
+    /// Creates a plan.
+    pub fn new<R>(id: &'static str, cells: Vec<Cell>, reduce: R) -> Self
+    where
+        R: FnOnce(Vec<CellOut>) -> ExperimentReport + Send + 'static,
+    {
+        ExperimentPlan {
+            id,
+            cells,
+            reduce: Box::new(reduce),
+        }
+    }
+
+    /// Runs every cell inline (no pool, no cache) and reduces — the
+    /// legacy single-experiment path used by module unit tests.
+    pub fn run_serial(self) -> ExperimentReport {
+        let outs = self.cells.iter().map(|c| (c.run)()).collect();
+        (self.reduce)(outs)
+    }
+}
+
+impl std::fmt::Debug for ExperimentPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentPlan")
+            .field("id", &self.id)
+            .field("cells", &self.cells.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Table;
+
+    #[test]
+    fn cellout_roundtrip_is_bit_exact() {
+        let mut out = CellOut::from_rows(vec![vec!["a".into(), "1.50".into()]]);
+        out.put("mean", 0.1 + 0.2); // a value with no short decimal form
+        out.put("nan", f64::NAN);
+        let back = CellOut::from_bytes(&out.to_bytes()).unwrap();
+        assert_eq!(back, out);
+        assert_eq!(back.get("mean").to_bits(), (0.1f64 + 0.2).to_bits());
+        assert!(back.get("nan").is_nan());
+    }
+
+    #[test]
+    fn malformed_payload_is_a_miss() {
+        assert!(CellOut::from_bytes(b"not json").is_none());
+        assert!(CellOut::from_bytes(b"{\"rows\":3}").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing scalar")]
+    fn missing_scalar_panics() {
+        CellOut::default().get("absent");
+    }
+
+    #[test]
+    fn plan_run_serial_reduces_in_cell_order() {
+        let cells = (0..4)
+            .map(|i| {
+                Cell::new(format!("c{i}"), format!("k{i}"), move || {
+                    CellOut::from_rows(vec![vec![i.to_string()]])
+                })
+            })
+            .collect();
+        let plan = ExperimentPlan::new("E0", cells, |outs| {
+            let mut table = Table::new(["i"]);
+            for o in outs {
+                for r in o.rows {
+                    table.push_row(r);
+                }
+            }
+            ExperimentReport {
+                id: "E0".into(),
+                title: "order".into(),
+                table,
+                notes: vec![],
+            }
+        });
+        let report = plan.run_serial();
+        let col: Vec<&str> = report.table.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(col, ["0", "1", "2", "3"]);
+    }
+}

@@ -1,12 +1,15 @@
 //! E3/E4/E5 — the paper's Figure 1 events, measured on
 //! bounded-arboricity graphs.
 
+use crate::cache::cached_graph;
+use crate::cell::{Cell, CellOut, ExperimentPlan};
 use crate::{fmt_p, ExperimentReport, Table};
+use arbmis_graph::gen::{GraphFamily, GraphSpec};
 use arbmis_graph::orientation::Orientation;
-use arbmis_graph::{gen, Graph};
+use arbmis_graph::Graph;
 use arbmis_readk::events::EventScenario;
 use arbmis_readk::{bounds, estimate};
-use rand::SeedableRng;
+use std::sync::Arc;
 
 fn trials(quick: bool) -> u64 {
     if quick {
@@ -16,179 +19,244 @@ fn trials(quick: bool) -> u64 {
     }
 }
 
-fn workload(alpha: usize, n: usize) -> (Graph, Orientation) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + alpha as u64);
-    let g = gen::forest_union(n, alpha, &mut rng);
+fn workload(alpha: usize, n: usize) -> (Arc<Graph>, Orientation) {
+    let spec = GraphSpec::new(GraphFamily::ForestUnion { alpha }, n);
+    let g = cached_graph(&spec, 1000 + alpha as u64);
     let o = Orientation::by_degeneracy(&g);
     (g, o)
+}
+
+fn workload_key(alpha: usize, n: usize) -> String {
+    format!("alpha={alpha};n={n};gseed={}", 1000 + alpha)
+}
+
+/// E3 as a cell plan: one cell per `(α, |M|)` configuration.
+pub fn e3_event1_plan(quick: bool) -> ExperimentPlan {
+    let trials = trials(quick);
+    let n = if quick { 2_000 } else { 8_000 };
+    let mut cells = Vec::new();
+    for alpha in 1..=4usize {
+        for m_size in [20usize, 100, 400] {
+            cells.push(Cell::new(
+                format!("E3/α={alpha},|M|={m_size}"),
+                format!("E3;trials={trials};{};m={m_size}", workload_key(alpha, n)),
+                move || {
+                    let (g, o) = workload(alpha, n);
+                    let m: Vec<usize> = (0..m_size).collect();
+                    let sc = EventScenario::new(&g, &o, m, None);
+                    let est = estimate(trials, |t| sc.event1_holds(&sc.sample_priorities(0xe3, t)));
+                    let delta_m = sc.max_degree_of_m().max(1);
+                    let lower = bounds::event1_lower_bound(m_size, delta_m, alpha);
+                    let (lo, _) = est.wilson_ci(2.58);
+                    // The theorem is stated for an α-orientation; ours is a
+                    // degeneracy orientation with out-degree ≤ 2α−1, so compare
+                    // against the bound at the *measured* out-degree bound.
+                    let holds = lo >= lower - 0.02 || est.p_hat() >= lower;
+                    let mut out = CellOut::from_rows(vec![vec![
+                        alpha.to_string(),
+                        m_size.to_string(),
+                        sc.event1_read_parameter().to_string(),
+                        (o.max_out_degree() + 1).to_string(),
+                        fmt_p(est.p_hat()),
+                        fmt_p(lower),
+                        if holds {
+                            "✓".into()
+                        } else {
+                            "BELOW".to_string()
+                        },
+                    ]]);
+                    out.put("viol", if holds { 0.0 } else { 1.0 });
+                    out
+                },
+            ));
+        }
+    }
+    ExperimentPlan::new("E3", cells, move |outs| {
+        let mut table = Table::new([
+            "α",
+            "|M|",
+            "k measured",
+            "k bound α+1",
+            "measured",
+            "thm 3.1 lower bd",
+            "holds",
+        ]);
+        let mut violations = 0usize;
+        for out in outs {
+            violations += out.get("viol") as usize;
+            for row in out.rows {
+                table.push_row(row);
+            }
+        }
+        ExperimentReport {
+            id: "E3".into(),
+            title: "Event (1) / Figure 1A: some node of M beats all its children (Theorem 3.1)"
+                .into(),
+            table,
+            notes: vec![
+                format!("{trials} trials per row on unions of α random forests (n = {n})."),
+                "the measured read parameter never exceeds out-degree + 1, matching the read-α structure the proof builds on an independent subset of M.".into(),
+                format!("rows where the measured probability fell below the theorem's lower bound: {violations} (expected 0)."),
+            ],
+        }
+    })
 }
 
 /// E3 (Figure 1A): Theorem 3.1 — some node of `M` beats all its children
 /// with probability ≥ 1 − (1 − 1/Δ_M)^{|M|/2α²}.
 pub fn e3_event1(quick: bool) -> ExperimentReport {
+    e3_event1_plan(quick).run_serial()
+}
+
+/// E4 as a cell plan: one cell per `(α, |M|)` configuration.
+pub fn e4_event2_plan(quick: bool) -> ExperimentPlan {
     let trials = trials(quick);
     let n = if quick { 2_000 } else { 8_000 };
-    let mut table = Table::new([
-        "α",
-        "|M|",
-        "k measured",
-        "k bound α+1",
-        "measured",
-        "thm 3.1 lower bd",
-        "holds",
-    ]);
-    let mut violations = 0usize;
+    let mut cells = Vec::new();
     for alpha in 1..=4usize {
-        let (g, o) = workload(alpha, n);
-        for m_size in [20usize, 100, 400] {
-            let m: Vec<usize> = (0..m_size).collect();
-            let sc = EventScenario::new(&g, &o, m, None);
-            let est = estimate(trials, |t| sc.event1_holds(&sc.sample_priorities(0xe3, t)));
-            let delta_m = sc.max_degree_of_m().max(1);
-            let lower = bounds::event1_lower_bound(m_size, delta_m, alpha);
-            let (lo, _) = est.wilson_ci(2.58);
-            // The theorem is stated for an α-orientation; ours is a
-            // degeneracy orientation with out-degree ≤ 2α−1, so compare
-            // against the bound at the *measured* out-degree bound.
-            let holds = lo >= lower - 0.02 || est.p_hat() >= lower;
-            if !holds {
-                violations += 1;
-            }
-            table.push_row([
-                alpha.to_string(),
-                m_size.to_string(),
-                sc.event1_read_parameter().to_string(),
-                (o.max_out_degree() + 1).to_string(),
-                fmt_p(est.p_hat()),
-                fmt_p(lower),
-                if holds {
-                    "✓".into()
-                } else {
-                    "BELOW".to_string()
+        for m_size in [100usize, 400, 1600] {
+            cells.push(Cell::new(
+                format!("E4/α={alpha},|M|={m_size}"),
+                format!("E4;trials={trials};{};m={m_size}", workload_key(alpha, n)),
+                move || {
+                    let (g, o) = workload(alpha, n);
+                    let rho =
+                        4.0 * (g.max_degree().max(2) as f64) * (g.max_degree().max(2) as f64).ln();
+                    let m: Vec<usize> = (0..m_size).collect();
+                    let sc = EventScenario::new(&g, &o, m, Some(rho as usize));
+                    let est = estimate(trials, |t| {
+                        sc.event2_holds(&sc.sample_priorities(0xe4, t), alpha)
+                    });
+                    let fail_bound = bounds::event2_failure_bound(m_size, alpha, rho);
+                    let measured_failure = 1.0 - est.p_hat();
+                    let holds = measured_failure <= fail_bound + 0.02;
+                    let mut out = CellOut::from_rows(vec![vec![
+                        alpha.to_string(),
+                        m_size.to_string(),
+                        format!("{rho:.0}"),
+                        sc.event2_read_parameter().to_string(),
+                        fmt_p(est.p_hat()),
+                        fmt_p(fail_bound),
+                        if holds {
+                            "✓".into()
+                        } else {
+                            "ABOVE".to_string()
+                        },
+                    ]]);
+                    out.put("viol", if holds { 0.0 } else { 1.0 });
+                    out
                 },
-            ]);
+            ));
         }
     }
-    ExperimentReport {
-        id: "E3".into(),
-        title: "Event (1) / Figure 1A: some node of M beats all its children (Theorem 3.1)".into(),
-        table,
-        notes: vec![
-            format!("{trials} trials per row on unions of α random forests (n = {n})."),
-            "the measured read parameter never exceeds out-degree + 1, matching the read-α structure the proof builds on an independent subset of M.".into(),
-            format!("rows where the measured probability fell below the theorem's lower bound: {violations} (expected 0)."),
-        ],
-    }
+    ExperimentPlan::new("E4", cells, move |outs| {
+        let mut table = Table::new([
+            "α",
+            "|M|",
+            "ρ cutoff",
+            "k measured",
+            "Pr[success]",
+            "thm 3.2 failure bd",
+            "holds",
+        ]);
+        let mut violations = 0usize;
+        for out in outs {
+            violations += out.get("viol") as usize;
+            for row in out.rows {
+                table.push_row(row);
+            }
+        }
+        ExperimentReport {
+            id: "E4".into(),
+            title: "Event (2) / Figure 1B: > |M|/2α nodes of M beat all parents (Theorem 3.2)"
+                .into(),
+            table,
+            notes: vec![
+                format!("{trials} trials per row; the ρ cutoff makes every parent's priority read by ≤ ρ children — the read-ρ_k device of the paper."),
+                format!("rows whose measured failure exceeded the theorem bound: {violations} (expected 0)."),
+                "the measured read parameter stays far below ρ on sparse graphs: the bound is loose but valid.".into(),
+            ],
+        }
+    })
 }
 
 /// E4 (Figure 1B): Theorem 3.2 — more than |M|/2α nodes of M beat their
 /// parents, failure probability ≤ exp(−2(1/4α²)|M|/ρ).
 pub fn e4_event2(quick: bool) -> ExperimentReport {
+    e4_event2_plan(quick).run_serial()
+}
+
+/// E5 as a cell plan: one cell per `(α, |M|)` configuration.
+pub fn e5_event3_plan(quick: bool) -> ExperimentPlan {
     let trials = trials(quick);
     let n = if quick { 2_000 } else { 8_000 };
-    let mut table = Table::new([
-        "α",
-        "|M|",
-        "ρ cutoff",
-        "k measured",
-        "Pr[success]",
-        "thm 3.2 failure bd",
-        "holds",
-    ]);
-    let mut violations = 0usize;
+    let mut cells = Vec::new();
     for alpha in 1..=4usize {
-        let (g, o) = workload(alpha, n);
-        let rho = 4.0 * (g.max_degree().max(2) as f64) * (g.max_degree().max(2) as f64).ln();
-        for m_size in [100usize, 400, 1600] {
-            let m: Vec<usize> = (0..m_size).collect();
-            let sc = EventScenario::new(&g, &o, m, Some(rho as usize));
-            let est = estimate(trials, |t| {
-                sc.event2_holds(&sc.sample_priorities(0xe4, t), alpha)
-            });
-            let fail_bound = bounds::event2_failure_bound(m_size, alpha, rho);
-            let measured_failure = 1.0 - est.p_hat();
-            let holds = measured_failure <= fail_bound + 0.02;
-            if !holds {
-                violations += 1;
-            }
-            table.push_row([
-                alpha.to_string(),
-                m_size.to_string(),
-                format!("{rho:.0}"),
-                sc.event2_read_parameter().to_string(),
-                fmt_p(est.p_hat()),
-                fmt_p(fail_bound),
-                if holds {
-                    "✓".into()
-                } else {
-                    "ABOVE".to_string()
+        for m_size in [100usize, 400] {
+            cells.push(Cell::new(
+                format!("E5/α={alpha},|M|={m_size}"),
+                format!("E5;trials={trials};{};m={m_size}", workload_key(alpha, n)),
+                move || {
+                    let (g, o) = workload(alpha, n);
+                    let m: Vec<usize> = (0..m_size).collect();
+                    let sc = EventScenario::new(&g, &o, m, None);
+                    let est = estimate(trials, |t| {
+                        sc.event3_holds(&sc.sample_priorities(0xe5, t), alpha)
+                    });
+                    let mean_frac = {
+                        let sample = trials.min(2_000);
+                        let total: usize = (0..sample)
+                            .map(|t| sc.event3_eliminated(&sc.sample_priorities(0xe5, t)).len())
+                            .sum();
+                        total as f64 / (sample as f64 * m_size as f64)
+                    };
+                    let d = o.max_out_degree();
+                    CellOut::from_rows(vec![vec![
+                        alpha.to_string(),
+                        m_size.to_string(),
+                        sc.event3_read_parameter().to_string(),
+                        (d * (d + 1) + 1).to_string(),
+                        fmt_p(est.p_hat()),
+                        fmt_p(mean_frac),
+                        fmt_p(bounds::event3_elimination_fraction(alpha)),
+                    ]])
                 },
-            ]);
+            ));
         }
     }
-    ExperimentReport {
-        id: "E4".into(),
-        title: "Event (2) / Figure 1B: > |M|/2α nodes of M beat all parents (Theorem 3.2)".into(),
-        table,
-        notes: vec![
-            format!("{trials} trials per row; the ρ cutoff makes every parent's priority read by ≤ ρ children — the read-ρ_k device of the paper."),
-            format!("rows whose measured failure exceeded the theorem bound: {violations} (expected 0)."),
-            "the measured read parameter stays far below ρ on sparse graphs: the bound is loose but valid.".into(),
-        ],
-    }
+    ExperimentPlan::new("E5", cells, move |outs| {
+        let mut table = Table::new([
+            "α",
+            "|M|",
+            "k measured",
+            "k bound α(α+1)+1",
+            "Pr[enough eliminated]",
+            "mean elim frac",
+            "required frac",
+        ]);
+        for out in outs {
+            for row in out.rows {
+                table.push_row(row);
+            }
+        }
+        ExperimentReport {
+            id: "E5".into(),
+            title: "Event (3) / Figure 1C: elimination via children joining the MIS (Theorem 3.3)"
+                .into(),
+            table,
+            notes: vec![
+                format!("{trials} trials per row; 'Pr[enough eliminated]' should be ≈ 1 — the theorem asks only for the microscopic fraction 1/(8α²(32α⁶+1))."),
+                "the mean eliminated fraction is orders of magnitude above the requirement: the paper's constants are proof slack, exactly as §1.2 concedes ('not difficult to reduce this degree').".into(),
+                "the measured read parameter respects the α(α+1) family structure (children + grandchildren).".into(),
+            ],
+        }
+    })
 }
 
 /// E5 (Figure 1C): Theorem 3.3 — at least |M|/(8α²(32α⁶+1)) nodes of M
 /// are eliminated per iteration, w.p. ≥ 1 − 1/Δ³.
 pub fn e5_event3(quick: bool) -> ExperimentReport {
-    let trials = trials(quick);
-    let n = if quick { 2_000 } else { 8_000 };
-    let mut table = Table::new([
-        "α",
-        "|M|",
-        "k measured",
-        "k bound α(α+1)+1",
-        "Pr[enough eliminated]",
-        "mean elim frac",
-        "required frac",
-    ]);
-    for alpha in 1..=4usize {
-        let (g, o) = workload(alpha, n);
-        for m_size in [100usize, 400] {
-            let m: Vec<usize> = (0..m_size).collect();
-            let sc = EventScenario::new(&g, &o, m, None);
-            let est = estimate(trials, |t| {
-                sc.event3_holds(&sc.sample_priorities(0xe5, t), alpha)
-            });
-            let mean_frac = {
-                let sample = trials.min(2_000);
-                let total: usize = (0..sample)
-                    .map(|t| sc.event3_eliminated(&sc.sample_priorities(0xe5, t)).len())
-                    .sum();
-                total as f64 / (sample as f64 * m_size as f64)
-            };
-            let d = o.max_out_degree();
-            table.push_row([
-                alpha.to_string(),
-                m_size.to_string(),
-                sc.event3_read_parameter().to_string(),
-                (d * (d + 1) + 1).to_string(),
-                fmt_p(est.p_hat()),
-                fmt_p(mean_frac),
-                fmt_p(bounds::event3_elimination_fraction(alpha)),
-            ]);
-        }
-    }
-    ExperimentReport {
-        id: "E5".into(),
-        title: "Event (3) / Figure 1C: elimination via children joining the MIS (Theorem 3.3)".into(),
-        table,
-        notes: vec![
-            format!("{trials} trials per row; 'Pr[enough eliminated]' should be ≈ 1 — the theorem asks only for the microscopic fraction 1/(8α²(32α⁶+1))."),
-            "the mean eliminated fraction is orders of magnitude above the requirement: the paper's constants are proof slack, exactly as §1.2 concedes ('not difficult to reduce this degree').".into(),
-            "the measured read parameter respects the α(α+1) family structure (children + grandchildren).".into(),
-        ],
-    }
+    e5_event3_plan(quick).run_serial()
 }
 
 #[cfg(test)]

@@ -1,157 +1,203 @@
 //! E8/E9 — round-complexity scaling and the cross-algorithm race.
 
+use crate::cache::cached_graph;
+use crate::cell::{Cell, CellOut, ExperimentPlan};
+use crate::exps::seed_chunks;
 use crate::{fmt_f, ExperimentReport, Table};
 use arbmis_core::{arb_mis, check_mis, ghaffari, luby, metivier, ArbMisConfig};
 use arbmis_graph::gen::{GraphFamily, GraphSpec};
-use rand::SeedableRng;
 
-/// E8: ArbMIS rounds vs n (fixed α) and vs α (fixed n) — Theorem 2.1's
-/// shape `O(α⁹·√(log n)·log log n)`.
-pub fn e8_scaling(quick: bool) -> ExperimentReport {
-    let seeds: u64 = if quick { 2 } else { 5 };
-    let mut table = Table::new([
-        "sweep",
-        "n",
-        "α",
-        "Δ",
-        "rounds",
-        "shatter",
-        "finish",
-        "√(lg n·lglg n)",
-        "rounds/α²",
-    ]);
+fn e8_sweep(quick: bool) -> Vec<(&'static str, usize, usize)> {
     let n_sweep: &[usize] = if quick {
         &[1 << 9, 1 << 11]
     } else {
         &[1 << 9, 1 << 11, 1 << 13, 1 << 15, 1 << 16]
     };
-    // Rounds vs n at α = 2.
-    for &n in n_sweep {
-        let (rounds, shatter, finish, delta) =
-            mean_arbmis(GraphFamily::ForestUnion { alpha: 2 }, n, 2, seeds);
-        let logn = (n as f64).log2();
-        let ref_shape = (logn * logn.log2()).sqrt();
-        table.push_row([
-            "n".into(),
-            n.to_string(),
-            "2".into(),
-            format!("{delta:.0}"),
-            fmt_f(rounds),
-            fmt_f(shatter),
-            fmt_f(finish),
-            fmt_f(ref_shape),
-            fmt_f(rounds / 4.0),
-        ]);
-    }
-    // Rounds vs α at fixed n.
+    let mut points: Vec<(&'static str, usize, usize)> =
+        n_sweep.iter().map(|&n| ("n", n, 2usize)).collect();
     let n = if quick { 1 << 11 } else { 1 << 14 };
-    for alpha in 1..=5usize {
-        let (rounds, shatter, finish, delta) =
-            mean_arbmis(GraphFamily::ForestUnion { alpha }, n, alpha, seeds);
-        let logn = (n as f64).log2();
-        let ref_shape = (logn * logn.log2()).sqrt();
-        table.push_row([
-            "α".into(),
-            n.to_string(),
-            alpha.to_string(),
-            format!("{delta:.0}"),
-            fmt_f(rounds),
-            fmt_f(shatter),
-            fmt_f(finish),
-            fmt_f(ref_shape),
-            fmt_f(rounds / (alpha * alpha) as f64),
-        ]);
-    }
-    ExperimentReport {
-        id: "E8".into(),
-        title: "Theorem 2.1 shape: ArbMIS rounds vs n (fixed α) and vs α (fixed n)".into(),
-        table,
-        notes: vec![
-            "practical-mode Λ keeps the α² · log log Δ iteration shape (the paper's α⁸ slack dropped), so rounds/α² should be roughly flat in the α sweep.".into(),
-            "in the n sweep, rounds grow only through Δ(n) (via Θ·Λ) and the finishing phases — sublogarithmic in n, the headline of the paper vs Luby's Θ(log n).".into(),
-            "the shattering phase dominates: it is an oblivious schedule, so its cost is a deterministic function of (α, Δ), independent of n — the crossover vs O(log n) algorithms sits at astronomically large n with the paper's constants.".into(),
-        ],
-    }
+    points.extend((1..=5usize).map(|alpha| ("α", n, alpha)));
+    points
 }
 
-fn mean_arbmis(fam: GraphFamily, n: usize, alpha: usize, seeds: u64) -> (f64, f64, f64, f64) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xe8);
-    let g = GraphSpec::new(fam, n).generate(&mut rng);
-    let mut rounds = 0.0;
-    let mut shatter = 0.0;
-    let mut finish = 0.0;
-    for seed in 0..seeds {
-        let out = arb_mis(&g, &ArbMisConfig::new(alpha, seed));
-        debug_assert!(check_mis(&g, &out.in_mis).is_ok());
-        rounds += out.rounds as f64;
-        shatter += out.phases.shattering as f64;
-        finish += (out.phases.vlo + out.phases.vhi + out.phases.bad_components) as f64;
+/// E8 as a cell plan: one cell per sweep point. The per-point seed loop
+/// accumulates f64 means, so it is never split across cells.
+pub fn e8_scaling_plan(quick: bool) -> ExperimentPlan {
+    let seeds: u64 = if quick { 2 } else { 5 };
+    let cells = e8_sweep(quick)
+        .into_iter()
+        .map(|(sweep, n, alpha)| {
+            let spec = GraphSpec::new(GraphFamily::ForestUnion { alpha }, n);
+            Cell::new(
+                format!("E8/{sweep}:n={n},α={alpha}"),
+                format!(
+                    "E8;sweep={sweep};{};gseed=232;seeds={seeds}",
+                    spec.stable_key()
+                ),
+                move || {
+                    let g = cached_graph(&spec, 0xe8);
+                    let mut rounds = 0.0;
+                    let mut shatter = 0.0;
+                    let mut finish = 0.0;
+                    for seed in 0..seeds {
+                        let out = arb_mis(&g, &ArbMisConfig::new(alpha, seed));
+                        debug_assert!(check_mis(&g, &out.in_mis).is_ok());
+                        rounds += out.rounds as f64;
+                        shatter += out.phases.shattering as f64;
+                        finish +=
+                            (out.phases.vlo + out.phases.vhi + out.phases.bad_components) as f64;
+                    }
+                    let s = seeds as f64;
+                    let (rounds, shatter, finish) = (rounds / s, shatter / s, finish / s);
+                    let logn = (n as f64).log2();
+                    let ref_shape = (logn * logn.log2()).sqrt();
+                    CellOut::from_rows(vec![vec![
+                        sweep.into(),
+                        n.to_string(),
+                        alpha.to_string(),
+                        format!("{:.0}", g.max_degree() as f64),
+                        fmt_f(rounds),
+                        fmt_f(shatter),
+                        fmt_f(finish),
+                        fmt_f(ref_shape),
+                        fmt_f(rounds / (alpha * alpha) as f64),
+                    ]])
+                },
+            )
+        })
+        .collect();
+    ExperimentPlan::new("E8", cells, |outs| {
+        let mut table = Table::new([
+            "sweep",
+            "n",
+            "α",
+            "Δ",
+            "rounds",
+            "shatter",
+            "finish",
+            "√(lg n·lglg n)",
+            "rounds/α²",
+        ]);
+        for out in outs {
+            for row in out.rows {
+                table.push_row(row);
+            }
+        }
+        ExperimentReport {
+            id: "E8".into(),
+            title: "Theorem 2.1 shape: ArbMIS rounds vs n (fixed α) and vs α (fixed n)".into(),
+            table,
+            notes: vec![
+                "practical-mode Λ keeps the α² · log log Δ iteration shape (the paper's α⁸ slack dropped), so rounds/α² should be roughly flat in the α sweep.".into(),
+                "in the n sweep, rounds grow only through Δ(n) (via Θ·Λ) and the finishing phases — sublogarithmic in n, the headline of the paper vs Luby's Θ(log n).".into(),
+                "the shattering phase dominates: it is an oblivious schedule, so its cost is a deterministic function of (α, Δ), independent of n — the crossover vs O(log n) algorithms sits at astronomically large n with the paper's constants.".into(),
+            ],
+        }
+    })
+}
+
+/// E8: ArbMIS rounds vs n (fixed α) and vs α (fixed n) — Theorem 2.1's
+/// shape `O(α⁹·√(log n)·log log n)`.
+pub fn e8_scaling(quick: bool) -> ExperimentReport {
+    e8_scaling_plan(quick).run_serial()
+}
+
+const E9_FAMILIES: [(GraphFamily, usize); 7] = [
+    (GraphFamily::RandomTree, 1usize),
+    (GraphFamily::Caterpillar { legs: 4 }, 1),
+    (GraphFamily::ForestUnion { alpha: 2 }, 2),
+    (GraphFamily::Apollonian, 3),
+    (GraphFamily::KTree { k: 3 }, 3),
+    (GraphFamily::BarabasiAlbert { m: 2 }, 2),
+    (GraphFamily::GnpAvgDegree { d: 8.0 }, 4),
+];
+
+/// E9 as a cell plan: one cell per `(family, seed-range)` — the
+/// cross-seed aggregates are u64 round sums; the reduce divides once.
+pub fn e9_race_plan(quick: bool) -> ExperimentPlan {
+    let n = if quick { 2_000 } else { 20_000 };
+    let seeds: u64 = if quick { 2 } else { 5 };
+    let chunks = seed_chunks(seeds, 2);
+    let mut cells = Vec::new();
+    for (fam, alpha) in E9_FAMILIES {
+        let spec = GraphSpec::new(fam, n);
+        for &(lo, hi) in &chunks {
+            cells.push(Cell::new(
+                format!("E9/{}[{lo}..{hi})", fam.label()),
+                format!("E9;{};gseed=233;seeds={lo}..{hi}", spec.stable_key()),
+                move || {
+                    let g = cached_graph(&spec, 0xe9);
+                    let mut sums = [0u64; 5];
+                    for seed in lo..hi {
+                        let out = arb_mis(&g, &ArbMisConfig::new(alpha, seed));
+                        debug_assert!(check_mis(&g, &out.in_mis).is_ok());
+                        let runs = [
+                            luby::run(&g, seed).rounds,
+                            metivier::run(&g, seed).rounds,
+                            ghaffari::run(&g, seed).rounds,
+                            out.rounds,
+                            out.phases.shattering,
+                        ];
+                        for (s, r) in sums.iter_mut().zip(runs) {
+                            *s += r;
+                        }
+                    }
+                    let mut out = CellOut::default();
+                    for (name, sum) in ["luby", "metivier", "ghaffari", "arbmis", "shatter"]
+                        .into_iter()
+                        .zip(sums)
+                    {
+                        out.put(name, sum as f64);
+                    }
+                    out
+                },
+            ));
+        }
     }
-    let s = seeds as f64;
-    (rounds / s, shatter / s, finish / s, g.max_degree() as f64)
+    let per_family = chunks.len();
+    ExperimentPlan::new("E9", cells, move |outs| {
+        let mut table = Table::new([
+            "family",
+            "α",
+            "luby",
+            "metivier",
+            "ghaffari",
+            "arbmis",
+            "arbmis shatter-only",
+        ]);
+        for (i, (fam, alpha)) in E9_FAMILIES.into_iter().enumerate() {
+            let group = &outs[i * per_family..(i + 1) * per_family];
+            let mean = |k: &str| -> String {
+                let sum: u64 = group.iter().map(|o| o.get(k) as u64).sum();
+                (sum / seeds).to_string()
+            };
+            table.push_row([
+                fam.label(),
+                alpha.to_string(),
+                mean("luby"),
+                mean("metivier"),
+                mean("ghaffari"),
+                mean("arbmis"),
+                mean("shatter"),
+            ]);
+        }
+        ExperimentReport {
+            id: "E9".into(),
+            title: "§1 comparison: CONGEST rounds to a complete MIS across algorithms".into(),
+            table,
+            notes: vec![
+                format!("n = {n}, mean over {seeds} seeds; every algorithm's output verified to be an MIS."),
+                "at laptop scales the O(log n) baselines win on wall-rounds — the paper's algorithm trades a huge α-dependent constant for n-independence of its shattering schedule; the asymptotic claim is the E8 shape, not a small-n win.".into(),
+                "Ghaffari > Métivier here is the desire-level warm-up cost; its advantage is worst-case Δ dependence, invisible on these benign inputs.".into(),
+            ],
+        }
+    })
 }
 
 /// E9: the §1 comparison — Luby vs Métivier vs Ghaffari vs ArbMIS across
 /// families.
 pub fn e9_race(quick: bool) -> ExperimentReport {
-    let n = if quick { 2_000 } else { 20_000 };
-    let seeds: u64 = if quick { 2 } else { 5 };
-    let mut table = Table::new([
-        "family",
-        "α",
-        "luby",
-        "metivier",
-        "ghaffari",
-        "arbmis",
-        "arbmis shatter-only",
-    ]);
-    let families = [
-        (GraphFamily::RandomTree, 1usize),
-        (GraphFamily::Caterpillar { legs: 4 }, 1),
-        (GraphFamily::ForestUnion { alpha: 2 }, 2),
-        (GraphFamily::Apollonian, 3),
-        (GraphFamily::KTree { k: 3 }, 3),
-        (GraphFamily::BarabasiAlbert { m: 2 }, 2),
-        (GraphFamily::GnpAvgDegree { d: 8.0 }, 4),
-    ];
-    for (fam, alpha) in families {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xe9);
-        let g = GraphSpec::new(fam, n).generate(&mut rng);
-        let mut sums = [0u64; 5];
-        for seed in 0..seeds {
-            let out = arb_mis(&g, &ArbMisConfig::new(alpha, seed));
-            debug_assert!(check_mis(&g, &out.in_mis).is_ok());
-            let runs = [
-                luby::run(&g, seed).rounds,
-                metivier::run(&g, seed).rounds,
-                ghaffari::run(&g, seed).rounds,
-                out.rounds,
-                out.phases.shattering,
-            ];
-            for (s, r) in sums.iter_mut().zip(runs) {
-                *s += r;
-            }
-        }
-        table.push_row([
-            fam.label(),
-            alpha.to_string(),
-            (sums[0] / seeds).to_string(),
-            (sums[1] / seeds).to_string(),
-            (sums[2] / seeds).to_string(),
-            (sums[3] / seeds).to_string(),
-            (sums[4] / seeds).to_string(),
-        ]);
-    }
-    ExperimentReport {
-        id: "E9".into(),
-        title: "§1 comparison: CONGEST rounds to a complete MIS across algorithms".into(),
-        table,
-        notes: vec![
-            format!("n = {n}, mean over {seeds} seeds; every algorithm's output verified to be an MIS."),
-            "at laptop scales the O(log n) baselines win on wall-rounds — the paper's algorithm trades a huge α-dependent constant for n-independence of its shattering schedule; the asymptotic claim is the E8 shape, not a small-n win.".into(),
-            "Ghaffari > Métivier here is the desire-level warm-up cost; its advantage is worst-case Δ dependence, invisible on these benign inputs.".into(),
-        ],
-    }
+    e9_race_plan(quick).run_serial()
 }
 
 #[cfg(test)]

@@ -9,7 +9,10 @@
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
+pub mod cache;
+pub mod cell;
 pub mod exps;
+pub mod sched;
 
 /// A rendered experiment: identifier, headline, table, commentary.
 #[derive(Clone, Debug, Serialize, Deserialize)]

@@ -69,7 +69,7 @@ pub mod transcript;
 
 pub use message::{DecodeError, Message};
 pub use metrics::Metrics;
-pub use parallel::{default_parallelism, set_default_parallelism, Parallelism};
+pub use parallel::{default_parallelism, execute_indexed, set_default_parallelism, Parallelism};
 pub use protocol::{Inbox, NodeInfo, Outgoing, Protocol};
 pub use simulator::{Simulator, SimulatorError, SimulatorRun};
 

@@ -20,6 +20,7 @@
 //!
 //! Thread count therefore affects wall-clock only, never results.
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How many chunks each worker thread should get on average. More chunks
@@ -60,6 +61,50 @@ pub(crate) fn chunk_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
     let chunks = (threads * CHUNKS_PER_THREAD).clamp(1, n.max(1));
     (0..chunks)
         .map(|i| (i * n / chunks, (i + 1) * n / chunks))
+        .collect()
+}
+
+/// Runs `f` over the item indices `0..items` on a work-stealing crossbeam
+/// pool sized by `parallelism`, returning the results **in item-index
+/// order** regardless of which worker ran what.
+///
+/// This is the generalized form of the round engine's chunk pool: workers
+/// claim the next unclaimed item off a shared atomic counter (whole-item
+/// stealing), so load imbalance between items self-corrects, while the
+/// result vector is assembled purely by index — scheduling can never leak
+/// into output order. `f` receives `(worker_index, item_index)`; it must
+/// be a pure function of the item index for the determinism contract to
+/// carry over (worker index is for timing-class bookkeeping only).
+///
+/// With one effective thread (or ≤ 1 item) no pool is spun up and `f`
+/// runs inline in index order, with `worker_index = 0`.
+pub fn execute_indexed<T, F>(items: usize, parallelism: Parallelism, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let threads = parallelism.effective_threads(items);
+    if threads <= 1 || items <= 1 {
+        return (0..items).map(|i| f(0, i)).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..items).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for w in 0..threads {
+            let (slots, next, f) = (&slots, &next, &f);
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items {
+                    break;
+                }
+                *slots[i].lock() = Some(f(w, i));
+            });
+        }
+    })
+    .expect("execute_indexed worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("claimed item left no result"))
         .collect()
 }
 
@@ -121,6 +166,31 @@ mod tests {
         assert_eq!(Parallelism::Threads(64).effective_threads(3), 3);
         assert!(Parallelism::Auto.effective_threads(1_000_000) >= 1);
         assert_eq!(Parallelism::Auto.effective_threads(0), 1);
+    }
+
+    #[test]
+    fn execute_indexed_preserves_item_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = execute_indexed(100, Parallelism::Threads(threads), |_w, i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(execute_indexed(0, Parallelism::Auto, |_, i| i).is_empty());
+        assert_eq!(
+            execute_indexed(1, Parallelism::Auto, |w, i| (w, i)),
+            [(0, 0)]
+        );
+    }
+
+    #[test]
+    fn execute_indexed_runs_every_item_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let out = execute_indexed(257, Parallelism::Threads(4), |_w, i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
     }
 
     #[test]

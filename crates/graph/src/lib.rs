@@ -39,6 +39,7 @@
 pub mod arboricity;
 pub mod builder;
 pub mod cores;
+pub mod digest;
 pub mod forest;
 pub mod gen;
 pub mod graph;

@@ -42,7 +42,7 @@ pub mod recorder;
 pub mod snapshot;
 
 pub use hist::Histogram;
-pub use recorder::{Event, Recorder, SpanGuard};
+pub use recorder::{is_timing_class, Event, Recorder, SpanGuard};
 pub use snapshot::Snapshot;
 
 use std::sync::Mutex;

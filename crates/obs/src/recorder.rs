@@ -61,6 +61,18 @@ pub enum Event {
     },
 }
 
+/// Whether a metric name belongs to the **timing class** of the §8
+/// contract: wall-clock or schedule/environment-dependent data, which
+/// must be quarantined to names ending in `_ns` or starting with
+/// `worker_` so [`Recorder::deterministic`] sink output stays
+/// byte-identical. Prometheus-style label suffixes are stripped first,
+/// so `worker_busy_ns{worker="3"}` and `cell_run_ns{exp="E9"}` both
+/// classify by their base name.
+pub fn is_timing_class(name: &str) -> bool {
+    let base = name.split('{').next().unwrap_or(name);
+    base.ends_with("_ns") || base.starts_with("worker_")
+}
+
 #[derive(Default)]
 struct State {
     seq: u64,
@@ -200,6 +212,36 @@ impl Recorder {
         let Some(inner) = &self.inner else { return };
         let mut st = inner.state.lock();
         *st.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Adds `delta` to a **timing-class** counter: a no-op unless
+    /// wall-clock timing is enabled, so schedule- or environment-
+    /// dependent counts (worker utilization, cache hit/miss tallies)
+    /// never reach a [`Recorder::deterministic`] sink. The name must
+    /// satisfy [`is_timing_class`] (debug-asserted) — callers wanting a
+    /// deterministic counter use [`Recorder::add`] with a
+    /// non-quarantined name instead.
+    pub fn add_timing(&self, name: &str, delta: u64) {
+        debug_assert!(
+            is_timing_class(name),
+            "add_timing requires a *_ns / worker_* name, got {name:?}"
+        );
+        if self.timing() {
+            self.add(name, delta);
+        }
+    }
+
+    /// Records one observation into a **timing-class** histogram; the
+    /// timing-gated analogue of [`Recorder::observe`] (see
+    /// [`Recorder::add_timing`] for the contract).
+    pub fn observe_timing(&self, name: &str, value: u64) {
+        debug_assert!(
+            is_timing_class(name),
+            "observe_timing requires a *_ns / worker_* name, got {name:?}"
+        );
+        if self.timing() {
+            self.observe(name, value);
+        }
     }
 
     /// Sets the named gauge.
@@ -358,6 +400,40 @@ mod tests {
             Event::Point { path, name, value, .. }
                 if path == "mc" && name == "batch" && *value == 512
         )));
+    }
+
+    #[test]
+    fn timing_class_names_classify_correctly() {
+        for name in [
+            "round_wall_ns",
+            "cell_run_ns",
+            "worker_chunks",
+            "worker_busy_ns{worker=\"3\"}",
+            "cell_run_ns{exp=\"E9\"}",
+            "worker_cell_cache_hits",
+        ] {
+            assert!(is_timing_class(name), "{name} should be timing-class");
+        }
+        for name in ["rounds", "messages", "ns_total", "nsx", "readk_mc_trials"] {
+            assert!(!is_timing_class(name), "{name} should be deterministic");
+        }
+    }
+
+    #[test]
+    fn timing_gated_writes_respect_timing_flag() {
+        let det = Recorder::deterministic();
+        det.add_timing("worker_cell_cache_hits", 4);
+        det.observe_timing("cell_run_ns", 100);
+        let snap = det.snapshot();
+        assert_eq!(snap.counter("worker_cell_cache_hits"), None);
+        assert!(snap.histogram("cell_run_ns").is_none());
+
+        let timed = Recorder::new();
+        timed.add_timing("worker_cell_cache_hits", 4);
+        timed.observe_timing("cell_run_ns", 100);
+        let snap = timed.snapshot();
+        assert_eq!(snap.counter("worker_cell_cache_hits"), Some(4));
+        assert_eq!(snap.histogram("cell_run_ns").unwrap().count(), 1);
     }
 
     #[test]

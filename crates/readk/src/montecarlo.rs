@@ -63,7 +63,8 @@ impl Estimate {
 }
 
 /// Runs `trials` evaluations of `event(trial_index)` in parallel across
-/// threads (crossbeam-scoped), returning the pooled [`Estimate`].
+/// threads (the shared work-stealing executor,
+/// [`arbmis_congest::execute_indexed`]), returning the pooled [`Estimate`].
 ///
 /// The event closure receives the global trial index, so implementations
 /// should derive randomness from it counter-style (see
@@ -88,29 +89,19 @@ where
         let successes = (0..trials).filter(|&t| event(t)).count() as u64;
         return Estimate { trials, successes };
     }
+    // One item per worker-sized trial range on the shared work-stealing
+    // executor; per-range counts are summed in range order (u64 sums are
+    // order-invariant anyway).
     let chunk = trials.div_ceil(threads as u64);
-    let total = std::sync::atomic::AtomicU64::new(0);
-    crossbeam::scope(|s| {
-        for w in 0..threads as u64 {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(trials);
-            let event = &event;
-            let total = &total;
-            s.spawn(move |_| {
-                let mut local = 0u64;
-                for t in lo..hi {
-                    if event(t) {
-                        local += 1;
-                    }
-                }
-                total.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
-            });
-        }
-    })
-    .expect("monte-carlo worker panicked");
+    let ranges = trials.div_ceil(chunk) as usize;
+    let counts = arbmis_congest::execute_indexed(ranges, parallelism, |_w, r| {
+        let lo = r as u64 * chunk;
+        let hi = (lo + chunk).min(trials);
+        (lo..hi).filter(|&t| event(t)).count() as u64
+    });
     Estimate {
         trials,
-        successes: total.load(std::sync::atomic::Ordering::Relaxed),
+        successes: counts.iter().sum(),
     }
 }
 
@@ -172,19 +163,20 @@ where
     if trials < 256 || threads == 1 {
         return (0..trials).map(stat).collect();
     }
-    let mut out = vec![0.0f64; trials as usize];
-    crossbeam::scope(|s| {
-        for (w, slab) in out.chunks_mut(chunk as usize).enumerate() {
-            let lo = w as u64 * chunk;
-            s.spawn(move |_| {
-                for (i, slot) in slab.iter_mut().enumerate() {
-                    *slot = stat(lo + i as u64);
-                }
-            });
-        }
-    })
-    .expect("monte-carlo worker panicked");
-    out
+    // Per-range slabs computed on the shared work-stealing executor and
+    // concatenated in range order: the flattened vector is identical to
+    // the serial `(0..trials).map(stat)` sequence.
+    let ranges = trials.div_ceil(chunk) as usize;
+    let slabs = arbmis_congest::execute_indexed(
+        ranges,
+        arbmis_congest::Parallelism::Threads(threads as usize),
+        |_w, r| {
+            let lo = r as u64 * chunk;
+            let hi = (lo + chunk).min(trials);
+            (lo..hi).map(stat).collect::<Vec<f64>>()
+        },
+    );
+    slabs.concat()
 }
 
 #[cfg(test)]
