@@ -15,8 +15,10 @@
 //! `baseline_serial_ns_per_round` and the speedup ratio is reported, so
 //! the committed artifact carries both numbers.
 
-use arbmis_congest::{Parallelism, Simulator};
-use arbmis_core::protocols::MetivierProtocol;
+use arbmis_congest::algorithms::ConvergeCast;
+use arbmis_congest::{Parallelism, Protocol, Simulator};
+use arbmis_core::params::{ArbParams, ParamMode};
+use arbmis_core::protocols::{BoundedArbProtocol, MetivierProtocol};
 use arbmis_graph::{gen, Graph};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -50,9 +52,22 @@ struct BenchEntry {
     serial_speedup_vs_baseline: Option<f64>,
 }
 
+/// The protocol a workload drives — broadcast-heavy MIS twins plus the
+/// shattering-tail cases where activity collapses long before the run
+/// ends (most rounds touch a handful of nodes; the frontier engine must
+/// not bill O(n) for them).
+enum WorkloadProto {
+    Metivier,
+    BoundedArb(BoundedArbProtocol),
+    ConvergeCast(ConvergeCast),
+}
+
 struct Workload {
     name: &'static str,
+    protocol: &'static str,
     graph: Graph,
+    proto: WorkloadProto,
+    max_rounds: u64,
 }
 
 fn workloads() -> Vec<Workload> {
@@ -60,14 +75,61 @@ fn workloads() -> Vec<Workload> {
     // group and this emitter measure the same graphs.
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let n = 50_000;
+    let gnp = gen::gnp(n, 4.0 / n as f64, &mut rng);
+    let ktree = gen::random_ktree(20_000, 3, &mut rng);
+
+    // BoundedArb twin on the k-tree: nodes halt as soon as they resolve,
+    // so the later rounds step a shrinking survivor set — the frontier
+    // engine must bill those rounds by survivors, not by n.
+    let params = ArbParams::new(
+        3,
+        ktree.max_degree(),
+        ParamMode::Practical { lambda_scale: 1.0 },
+    );
+    let arb = BoundedArbProtocol {
+        params,
+        rho_cutoff: true,
+    };
+    let arb_rounds = arb.total_rounds() + 2;
+
+    // Sparse-activity tail in the extreme: a converge-cast wave up a
+    // path steps exactly one node per round for ~n rounds. Engine cost
+    // must track the wave front, not n.
+    let wave_n = 20_000;
+    let path = gen::path(wave_n);
+    let parent: Vec<Option<usize>> = (0..wave_n)
+        .map(|v| (v + 1 < wave_n).then_some(v + 1))
+        .collect();
+    let cast = ConvergeCast::new(parent, vec![1u64; wave_n]);
+
     vec![
         Workload {
             name: "gnp50k_d4",
-            graph: gen::gnp(n, 4.0 / n as f64, &mut rng),
+            protocol: "metivier",
+            graph: gnp,
+            proto: WorkloadProto::Metivier,
+            max_rounds: MAX_ROUNDS,
         },
         Workload {
             name: "ktree20k_k3",
-            graph: gen::random_ktree(20_000, 3, &mut rng),
+            protocol: "metivier",
+            graph: ktree.clone(),
+            proto: WorkloadProto::Metivier,
+            max_rounds: MAX_ROUNDS,
+        },
+        Workload {
+            name: "ktree20k_arb",
+            protocol: "bounded_arb",
+            graph: ktree,
+            proto: WorkloadProto::BoundedArb(arb),
+            max_rounds: arb_rounds,
+        },
+        Workload {
+            name: "wavepath20k",
+            protocol: "converge_cast",
+            graph: path,
+            proto: WorkloadProto::ConvergeCast(cast),
+            max_rounds: wave_n as u64 + 5,
         },
     ]
 }
@@ -85,6 +147,34 @@ fn median_ns_per_round(samples: usize, mut run: impl FnMut() -> (u64, u64)) -> (
         .collect();
     per_round.sort_by(|a, b| a.partial_cmp(b).unwrap());
     (per_round[per_round.len() / 2], rounds)
+}
+
+/// Serial + parallel median ns/round for one protocol on one graph.
+fn measure<P>(
+    g: &Graph,
+    proto: &P,
+    max_rounds: u64,
+    samples: usize,
+    threads: usize,
+) -> (f64, f64, u64)
+where
+    P: Protocol + Sync,
+    P::State: Send,
+    P::Msg: Send + Sync,
+{
+    let (serial, rounds) = median_ns_per_round(samples, || {
+        let sim = Simulator::new(g, SEED).with_parallelism(Parallelism::Serial);
+        let t0 = Instant::now();
+        let run = sim.run(proto, max_rounds).unwrap();
+        (t0.elapsed().as_nanos() as u64, run.metrics.rounds)
+    });
+    let (parallel, _) = median_ns_per_round(samples, || {
+        let sim = Simulator::new(g, SEED).with_parallelism(Parallelism::Threads(threads));
+        let t0 = Instant::now();
+        let run = sim.run_parallel(proto, max_rounds).unwrap();
+        (t0.elapsed().as_nanos() as u64, run.metrics.rounds)
+    });
+    (serial, parallel, rounds)
 }
 
 fn main() {
@@ -129,18 +219,13 @@ fn main() {
     let mut entries = Vec::new();
     for w in workloads() {
         let g = &w.graph;
-        let (serial, rounds) = median_ns_per_round(samples, || {
-            let sim = Simulator::new(g, SEED).with_parallelism(Parallelism::Serial);
-            let t0 = Instant::now();
-            let run = sim.run(&MetivierProtocol, MAX_ROUNDS).unwrap();
-            (t0.elapsed().as_nanos() as u64, run.metrics.rounds)
-        });
-        let (parallel, _) = median_ns_per_round(samples, || {
-            let sim = Simulator::new(g, SEED).with_parallelism(Parallelism::Threads(threads));
-            let t0 = Instant::now();
-            let run = sim.run_parallel(&MetivierProtocol, MAX_ROUNDS).unwrap();
-            (t0.elapsed().as_nanos() as u64, run.metrics.rounds)
-        });
+        let (serial, parallel, rounds) = match &w.proto {
+            WorkloadProto::Metivier => {
+                measure(g, &MetivierProtocol, w.max_rounds, samples, threads)
+            }
+            WorkloadProto::BoundedArb(p) => measure(g, p, w.max_rounds, samples, threads),
+            WorkloadProto::ConvergeCast(p) => measure(g, p, w.max_rounds, samples, threads),
+        };
         let base = baseline_serial(w.name);
         eprintln!(
             "{}: serial {serial:.0} ns/round, parallel({threads}) {parallel:.0} ns/round{}",
@@ -150,7 +235,7 @@ fn main() {
         );
         entries.push(BenchEntry {
             name: w.name.to_string(),
-            protocol: "metivier".to_string(),
+            protocol: w.protocol.to_string(),
             n: g.n() as u64,
             m: g.m() as u64,
             rounds,

@@ -204,6 +204,15 @@ impl Protocol for ConvergeCast {
     fn is_done(&self, st: &CastState) -> bool {
         st.done
     }
+
+    /// A node still waiting for children (`pending > 0`) is inert on an
+    /// empty inbox at every round — only a child's report changes it — and
+    /// a `done` node's next activation is `Halt` with `is_done` already
+    /// true (unobservable if skipped). So the engines only step the wave
+    /// front: per-round cost is O(1) on a path, not O(n).
+    fn is_quiescent(&self, st: &CastState) -> bool {
+        st.done || st.pending > 0
+    }
 }
 
 /// A compact broadcast-with-echo primitive built from [`BfsTree`] +

@@ -1,0 +1,173 @@
+//! Sparse active-set bookkeeping for the round engines.
+//!
+//! A [`Frontier`] is a two-level bitset over node ids: one word per 64
+//! nodes plus a summary word per 64 words, so membership updates are
+//! O(1), iteration is ascending and proportional to the set bits (plus
+//! `n/4096` summary words), and clearing only touches dirty words. The
+//! engines double-buffer two of these per round — see DESIGN.md §10.
+
+use arbmis_graph::NodeId;
+
+/// A two-level bitset over `0..n` with ascending iteration.
+#[derive(Clone, Debug)]
+pub(crate) struct Frontier {
+    /// Bit `v % 64` of `words[v / 64]` ⇔ `v` is in the set.
+    words: Vec<u64>,
+    /// Bit `w % 64` of `summary[w / 64]` ⇔ `words[w] != 0`.
+    summary: Vec<u64>,
+}
+
+impl Frontier {
+    /// An empty set over `0..n`.
+    pub(crate) fn new(n: usize) -> Self {
+        let nwords = n.div_ceil(64);
+        Frontier {
+            words: vec![0; nwords],
+            summary: vec![0; nwords.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `v` (idempotent).
+    #[inline]
+    pub(crate) fn insert(&mut self, v: NodeId) {
+        let w = v >> 6;
+        self.words[w] |= 1u64 << (v & 63);
+        self.summary[w >> 6] |= 1u64 << (w & 63);
+    }
+
+    /// Removes `v` (idempotent).
+    #[inline]
+    pub(crate) fn remove(&mut self, v: NodeId) {
+        let w = v >> 6;
+        self.words[w] &= !(1u64 << (v & 63));
+        if self.words[w] == 0 {
+            self.summary[w >> 6] &= !(1u64 << (w & 63));
+        }
+    }
+
+    /// Whether `v` is in the set.
+    #[cfg(test)]
+    pub(crate) fn contains(&self, v: NodeId) -> bool {
+        self.words[v >> 6] & (1u64 << (v & 63)) != 0
+    }
+
+    /// Empties the set, touching only dirty words.
+    pub(crate) fn clear(&mut self) {
+        for (s, &sw) in self.summary.iter().enumerate() {
+            let mut sbits = sw;
+            while sbits != 0 {
+                let w = (s << 6) + sbits.trailing_zeros() as usize;
+                sbits &= sbits - 1;
+                self.words[w] = 0;
+            }
+        }
+        self.summary.fill(0);
+    }
+
+    /// Iterates members in ascending order. The set must not be mutated
+    /// while the iterator is live (enforced by the borrow).
+    pub(crate) fn iter(&self) -> FrontierIter<'_> {
+        FrontierIter {
+            frontier: self,
+            sidx: 0,
+            sbits: self.summary.first().copied().unwrap_or(0),
+            widx: 0,
+            wbits: 0,
+        }
+    }
+}
+
+/// Ascending iterator over a [`Frontier`].
+pub(crate) struct FrontierIter<'a> {
+    frontier: &'a Frontier,
+    /// Current summary word index.
+    sidx: usize,
+    /// Unconsumed bits of `summary[sidx]`.
+    sbits: u64,
+    /// Current word index (valid while `wbits != 0`).
+    widx: usize,
+    /// Unconsumed bits of `words[widx]`.
+    wbits: u64,
+}
+
+impl Iterator for FrontierIter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.wbits != 0 {
+                let v = (self.widx << 6) + self.wbits.trailing_zeros() as usize;
+                self.wbits &= self.wbits - 1;
+                return Some(v);
+            }
+            if self.sbits != 0 {
+                self.widx = (self.sidx << 6) + self.sbits.trailing_zeros() as usize;
+                self.sbits &= self.sbits - 1;
+                self.wbits = self.frontier.words[self.widx];
+                continue;
+            }
+            self.sidx += 1;
+            if self.sidx >= self.frontier.summary.len() {
+                return None;
+            }
+            self.sbits = self.frontier.summary[self.sidx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_iterate() {
+        let mut f = Frontier::new(300);
+        for v in [0, 1, 63, 64, 65, 200, 299] {
+            f.insert(v);
+        }
+        f.insert(65); // idempotent
+        assert!(f.contains(65));
+        f.remove(65);
+        f.remove(65); // idempotent
+        assert!(!f.contains(65));
+        let got: Vec<usize> = f.iter().collect();
+        assert_eq!(got, vec![0, 1, 63, 64, 200, 299]);
+    }
+
+    #[test]
+    fn clear_empties_and_reuses() {
+        let mut f = Frontier::new(10_000);
+        for v in (0..10_000).step_by(97) {
+            f.insert(v);
+        }
+        f.clear();
+        assert_eq!(f.iter().count(), 0);
+        f.insert(9_999);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![9_999]);
+    }
+
+    #[test]
+    fn ascending_order_matches_reference_across_patterns() {
+        // Dense, sparse, and word-boundary patterns against a Vec model.
+        for (n, step) in [(1, 1), (64, 1), (65, 2), (4096, 31), (5000, 1)] {
+            let mut f = Frontier::new(n);
+            let expect: Vec<usize> = (0..n).step_by(step).collect();
+            // Insert in a scrambled order; iteration must sort.
+            for &v in expect.iter().rev() {
+                f.insert(v);
+            }
+            assert_eq!(f.iter().collect::<Vec<_>>(), expect, "n={n} step={step}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_sets() {
+        let f = Frontier::new(0);
+        assert_eq!(f.iter().count(), 0);
+        let mut f = Frontier::new(1);
+        assert_eq!(f.iter().count(), 0);
+        f.insert(0);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![0]);
+    }
+}

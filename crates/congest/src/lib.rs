@@ -59,6 +59,7 @@
 //! ```
 
 pub mod algorithms;
+mod frontier;
 pub mod message;
 pub mod metrics;
 pub mod parallel;

@@ -353,6 +353,32 @@ pub trait Protocol {
 
     /// Whether this node has produced its final output.
     fn is_done(&self, state: &Self::State) -> bool;
+
+    /// Whether a node in `state` is *quiescent*: given an **empty**
+    /// inbox, [`round`](Protocol::round) is guaranteed to emit nothing
+    /// and leave the state unchanged (observably a no-op), **at every
+    /// round number**. The engines skip quiescent nodes that have no
+    /// pending messages and wake them when a message targets them, so
+    /// per-round cost tracks the active frontier instead of `n` — see
+    /// DESIGN.md §10 for the full contract.
+    ///
+    /// Soundness rules for overriding:
+    ///
+    /// * The guarantee must hold for *any* round number, because a
+    ///   skipped node does not observe rounds passing. Protocols that act
+    ///   at a specific round (e.g. "halt at round `R`") must **not**
+    ///   declare such states quiescent.
+    /// * A state whose next activation would return [`Outgoing::Halt`]
+    ///   may only be quiescent if [`is_done`](Protocol::is_done) already
+    ///   holds (the halt is then unobservable: the node is skipped
+    ///   forever and already counts toward termination).
+    ///
+    /// The default — `is_done` — is sound for every protocol whose done
+    /// states are inert on an empty inbox, which all in-tree protocols
+    /// satisfy: they set `done` together with halting or becoming silent.
+    fn is_quiescent(&self, state: &Self::State) -> bool {
+        self.is_done(state)
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! The round-driving engine.
 
+use crate::frontier::Frontier;
 use crate::message::Message;
 use crate::metrics::Metrics;
 use crate::parallel::{self, Parallelism};
@@ -92,6 +93,7 @@ pub struct Simulator<'g> {
     budget_bits: Option<usize>,
     parallelism: Parallelism,
     recorder: Recorder,
+    full_scan: bool,
 }
 
 impl<'g> Simulator<'g> {
@@ -109,7 +111,17 @@ impl<'g> Simulator<'g> {
             budget_bits: Some(16 * logn.max(1)),
             parallelism: parallel::default_parallelism(),
             recorder: arbmis_obs::global(),
+            full_scan: false,
         }
+    }
+
+    /// Diagnostic knob: disables quiescence-based frontier shrinking, so
+    /// every non-halted node is stepped every round (the pre-frontier
+    /// behaviour). Results are identical either way — the differential
+    /// suites use this to prove it; it is never needed for correctness.
+    pub fn with_full_scan(mut self, full_scan: bool) -> Self {
+        self.full_scan = full_scan;
+        self
     }
 
     /// Attaches an observability [`Recorder`]. The default is the
@@ -298,12 +310,26 @@ impl<'g> Simulator<'g> {
             let mut it = states.into_iter();
             for &(lo, hi) in &bounds {
                 let chunk: Vec<P::State> = it.by_ref().take(hi - lo).collect();
+                let len = hi - lo;
+                let done: Vec<bool> = chunk.iter().map(|s| protocol.is_done(s)).collect();
+                let pending = done.iter().filter(|d| !**d).count();
+                let mut cur_frontier = Frontier::new(len);
+                for (off, s) in chunk.iter().enumerate() {
+                    if self.full_scan || !protocol.is_quiescent(s) {
+                        cur_frontier.insert(off);
+                    }
+                }
                 slots.push(Mutex::new(ChunkSlot {
                     lo,
                     states: chunk,
-                    halted: vec![false; hi - lo],
-                    inbox_entries: vec![Vec::new(); hi - lo],
+                    halted: vec![false; len],
+                    inbox_entries: vec![Vec::new(); len],
                     arena: Vec::new(),
+                    done,
+                    pending,
+                    cur_frontier,
+                    next_frontier: Frontier::new(len),
+                    inbox_touched: Vec::new(),
                 }));
             }
         }
@@ -318,7 +344,7 @@ impl<'g> Simulator<'g> {
         let stop = AtomicBool::new(false);
         let a_next = AtomicUsize::new(0);
         let b_next = AtomicUsize::new(0);
-        let (seed, budget) = (self.seed, self.budget_bits);
+        let (seed, budget, full_scan) = (self.seed, self.budget_bits, self.full_scan);
 
         enum Outcome {
             Done,
@@ -364,8 +390,8 @@ impl<'g> Simulator<'g> {
                             let mut out = outs[i].write();
                             out.reset(chunk_count);
                             process_chunk(
-                                protocol, g, seed, round, budget, traced, obs, dest_chunk,
-                                &mut slot, &mut out,
+                                protocol, g, seed, round, budget, traced, obs, full_scan,
+                                dest_chunk, &mut slot, &mut out,
                             );
                             // Utilization bookkeeping is timing-class
                             // only: skip the counters entirely when
@@ -540,6 +566,26 @@ impl<'g> Simulator<'g> {
             .collect();
 
         let mut halted = vec![false; n];
+        // Frontier bookkeeping (DESIGN.md §10): `done` caches `is_done`
+        // per node (state only changes inside `round`, so the cache is
+        // exact), `pending` counts nodes that are neither done nor halted
+        // — termination detection is O(1) instead of an O(n) scan. The
+        // double-buffered frontiers hold the nodes to step: survivors of
+        // this round that are not quiescent, plus every node a message
+        // woke. Halted nodes are never members.
+        let mut done = vec![false; n];
+        let mut pending = 0usize;
+        let mut cur_frontier = Frontier::new(n);
+        let mut next_frontier = Frontier::new(n);
+        for v in 0..n {
+            done[v] = protocol.is_done(&states[v]);
+            if !done[v] {
+                pending += 1;
+            }
+            if self.full_scan || !protocol.is_quiescent(&states[v]) {
+                cur_frontier.insert(v);
+            }
+        }
         // Double-buffered message plane: `cur` is read this round, `next`
         // is filled for the next one; both keep their allocations across
         // rounds (steady-state rounds allocate nothing).
@@ -547,17 +593,14 @@ impl<'g> Simulator<'g> {
         let mut next: Plane<P::Msg> = Plane::new(n);
 
         for round in 0..max_rounds {
-            if (0..n).all(|v| protocol.is_done(&states[v]) || halted[v]) {
+            if pending == 0 {
                 metrics.rounds = round;
                 flush_run_obs(rec, &metrics, &msg_bits_hist);
                 return Ok(SimulatorRun { states, metrics });
             }
             let (round_msgs0, round_bits0) = (metrics.messages, metrics.bits);
             let round_t0 = timing.then(Instant::now);
-            for v in 0..n {
-                if halted[v] {
-                    continue;
-                }
+            for v in cur_frontier.iter() {
                 let nbrs = g.neighbors(v);
                 let info = NodeInfo {
                     id: v,
@@ -568,33 +611,44 @@ impl<'g> Simulator<'g> {
                 };
                 let inbox = cur.inbox(v, nbrs);
                 let out = protocol.round(&mut states[v], &info, &inbox);
+                let was_pending = !done[v];
                 match out {
                     Outgoing::Silent => {}
-                    Outgoing::Halt => halted[v] = true,
+                    Outgoing::Halt => {
+                        halted[v] = true;
+                        // An earlier sender may have woken it this round.
+                        next_frontier.remove(v);
+                    }
                     Outgoing::Broadcast(msg) => {
-                        if nbrs.is_empty() {
-                            continue;
-                        }
-                        let bits = msg.bit_size();
-                        // Every copy has the same size: one budget check
-                        // for the whole neighborhood, reporting the first
-                        // neighbor (= the edge the per-edge loop would
-                        // have failed on).
-                        self.check_bits(v, nbrs[0], bits)?;
-                        metrics.record_broadcast(bits, nbrs.len());
-                        if obs {
-                            msg_bits_hist.observe_n(bits as u64, nbrs.len() as u64);
-                        }
-                        if let Some(t) = transcript.as_deref_mut() {
-                            for &u in nbrs {
-                                t.record(round, v, u, bits);
+                        if !nbrs.is_empty() {
+                            let bits = msg.bit_size();
+                            // Every copy has the same size: one budget
+                            // check for the whole neighborhood, reporting
+                            // the first neighbor (= the edge the per-edge
+                            // loop would have failed on).
+                            self.check_bits(v, nbrs[0], bits)?;
+                            metrics.record_broadcast(bits, nbrs.len());
+                            if obs {
+                                msg_bits_hist.observe_n(bits as u64, nbrs.len() as u64);
                             }
+                            if let Some(t) = transcript.as_deref_mut() {
+                                for &u in nbrs {
+                                    t.record(round, v, u, bits);
+                                }
+                            }
+                            // The payload is stored once and the sender's
+                            // slot points at it; receivers find it by
+                            // scanning their neighbor lists — no per-edge
+                            // delivery work at all. The wake loop below is
+                            // the only per-edge cost, within the
+                            // "messages delivered" budget.
+                            for &u in nbrs {
+                                if !halted[u] {
+                                    next_frontier.insert(u);
+                                }
+                            }
+                            next.push_broadcast(v, msg);
                         }
-                        // The payload is stored once and the sender's
-                        // slot points at it; receivers find it by
-                        // scanning their neighbor lists — no per-edge
-                        // delivery work at all.
-                        next.push_broadcast(v, msg);
                     }
                     Outgoing::Unicast(list) => {
                         for (u, msg) in list {
@@ -610,9 +664,22 @@ impl<'g> Simulator<'g> {
                             if let Some(t) = transcript.as_deref_mut() {
                                 t.record(round, v, u, bits);
                             }
+                            if !halted[u] {
+                                next_frontier.insert(u);
+                            }
                             next.push_unicast(v, u, msg);
                         }
                     }
+                }
+                if !halted[v] && (self.full_scan || !protocol.is_quiescent(&states[v])) {
+                    next_frontier.insert(v);
+                }
+                done[v] = protocol.is_done(&states[v]);
+                let now_pending = !done[v] && !halted[v];
+                match (was_pending, now_pending) {
+                    (true, false) => pending -= 1,
+                    (false, true) => pending += 1,
+                    _ => {}
                 }
             }
             if obs {
@@ -625,19 +692,18 @@ impl<'g> Simulator<'g> {
             }
             std::mem::swap(&mut cur, &mut next);
             next.clear();
-            // No per-round sort: the `for v in 0..n` emission order above
+            std::mem::swap(&mut cur_frontier, &mut next_frontier);
+            next_frontier.clear();
+            // No per-round sort: the ascending frontier iteration above
             // pushes into every inbox in ascending sender order already.
             debug_assert!(cur.is_sorted_by_sender(), "inbox delivery out of order");
         }
 
-        if (0..n).all(|v| protocol.is_done(&states[v]) || halted[v]) {
+        if pending == 0 {
             metrics.rounds = max_rounds;
             flush_run_obs(rec, &metrics, &msg_bits_hist);
             return Ok(SimulatorRun { states, metrics });
         }
-        let pending = (0..n)
-            .filter(|&v| !protocol.is_done(&states[v]) && !halted[v])
-            .count();
         Err(SimulatorError::RoundLimitExceeded {
             limit: max_rounds,
             pending,
@@ -676,6 +742,9 @@ struct Plane<M> {
     bidx: Vec<u32>,
     /// Broadcast payloads, one per broadcasting sender.
     barena: Vec<M>,
+    /// Senders whose `bidx` slot is set this round (so clearing touches
+    /// only dirty slots, not all n).
+    bsenders: Vec<NodeId>,
     /// Per-receiver unicast entry lists.
     uentries: Vec<Vec<(NodeId, u32)>>,
     /// Unicast payloads.
@@ -689,6 +758,7 @@ impl<M> Plane<M> {
         Plane {
             bidx: vec![crate::protocol::NO_BROADCAST; n],
             barena: Vec::new(),
+            bsenders: Vec::new(),
             uentries: vec![Vec::new(); n],
             uarena: Vec::new(),
             unicast_touched: Vec::new(),
@@ -700,6 +770,7 @@ impl<M> Plane<M> {
         let idx = u32::try_from(self.barena.len()).expect("round arena exceeds u32::MAX messages");
         self.barena.push(msg);
         self.bidx[from] = idx;
+        self.bsenders.push(from);
     }
 
     /// Records a unicast `from → to`.
@@ -724,12 +795,13 @@ impl<M> Plane<M> {
         )
     }
 
-    /// Empties the plane, keeping every allocation.
+    /// Empties the plane, keeping every allocation. Cost is proportional
+    /// to the traffic the plane held, never n.
     fn clear(&mut self) {
-        if !self.barena.is_empty() {
-            self.bidx.fill(crate::protocol::NO_BROADCAST);
-            self.barena.clear();
+        for v in self.bsenders.drain(..) {
+            self.bidx[v] = crate::protocol::NO_BROADCAST;
         }
+        self.barena.clear();
         for v in self.unicast_touched.drain(..) {
             self.uentries[v].clear();
         }
@@ -753,12 +825,32 @@ impl<M> Plane<M> {
 /// `arena` holds one copy of every payload delivered to this chunk in
 /// the current round; `inbox_entries[off]` lists `(sender, arena index)`
 /// pairs per node. All buffers persist (and are reused) across rounds.
+///
+/// Frontier bookkeeping is chunk-local (indexed by local offset):
+/// phase A steps `cur_frontier` and inserts non-quiescent survivors into
+/// `next_frontier`; phase B inserts a wake for every delivered message —
+/// cross-chunk wakes need no extra machinery because delivery already
+/// routes each message to its destination chunk — then promotes
+/// `next_frontier` to `cur_frontier` for the next round.
 struct ChunkSlot<P: Protocol> {
     lo: NodeId,
     states: Vec<P::State>,
     halted: Vec<bool>,
     inbox_entries: Vec<Vec<(NodeId, u32)>>,
     arena: Vec<P::Msg>,
+    /// Cached `is_done` per local offset (exact: state only changes
+    /// inside `round`, which only runs for frontier members).
+    done: Vec<bool>,
+    /// Number of chunk nodes that are neither done nor halted; the
+    /// coordinator's termination test sums these instead of scanning.
+    pending: usize,
+    /// Nodes to step this round (local offsets).
+    cur_frontier: Frontier,
+    /// Nodes to step next round (local offsets).
+    next_frontier: Frontier,
+    /// Local offsets with a non-empty `inbox_entries` list, so clearing
+    /// is O(#receivers), not O(chunk).
+    inbox_touched: Vec<u32>,
 }
 
 /// One worker's output for one chunk's round: the chunk's outgoing
@@ -862,6 +954,7 @@ fn process_chunk<P: Protocol>(
     budget: Option<usize>,
     traced: bool,
     obs: bool,
+    full_scan: bool,
     dest_chunk: &[u32],
     slot: &mut ChunkSlot<P>,
     out: &mut ChunkOut<P::Msg>,
@@ -873,6 +966,11 @@ fn process_chunk<P: Protocol>(
         halted,
         inbox_entries,
         arena,
+        done,
+        pending,
+        cur_frontier,
+        next_frontier,
+        ..
     } = slot;
     let lo = *lo;
     let (inbox_entries, arena) = (&*inbox_entries, &*arena);
@@ -881,10 +979,9 @@ fn process_chunk<P: Protocol>(
         out.arena.push(msg);
         idx
     };
-    for (off, state) in states.iter_mut().enumerate() {
-        if halted[off] {
-            continue;
-        }
+    // Halted nodes are never frontier members, so no halt check here.
+    for off in cur_frontier.iter() {
+        let state = &mut states[off];
         let v = lo + off;
         let info = NodeInfo {
             id: v,
@@ -894,40 +991,45 @@ fn process_chunk<P: Protocol>(
             seed,
         };
         let inbox = Inbox::from_parts(&inbox_entries[off], arena);
+        let was_pending = !done[off];
         match protocol.round(state, &info, &inbox) {
             Outgoing::Silent => {}
-            Outgoing::Halt => halted[off] = true,
+            Outgoing::Halt => {
+                halted[off] = true;
+                // Phase B of the previous round may have woken it.
+                next_frontier.remove(off);
+            }
             Outgoing::Broadcast(msg) => {
                 let nbrs = g.neighbors(v);
-                if nbrs.is_empty() {
-                    continue;
-                }
-                let bits = msg.bit_size();
-                // One budget check per broadcast; the first neighbor is
-                // the reported edge, exactly like the serial engine.
-                if let Some(budget) = budget {
-                    if bits > budget {
-                        out.error = Some(SimulatorError::BandwidthExceeded {
-                            from: v,
-                            to: nbrs[0],
-                            bits,
-                            budget,
-                        });
-                        return;
+                if !nbrs.is_empty() {
+                    let bits = msg.bit_size();
+                    // One budget check per broadcast; the first neighbor
+                    // is the reported edge, exactly like the serial
+                    // engine.
+                    if let Some(budget) = budget {
+                        if bits > budget {
+                            out.error = Some(SimulatorError::BandwidthExceeded {
+                                from: v,
+                                to: nbrs[0],
+                                bits,
+                                budget,
+                            });
+                            return;
+                        }
                     }
-                }
-                out.messages += nbrs.len() as u64;
-                out.bits += (bits * nbrs.len()) as u64;
-                out.max_bits = out.max_bits.max(bits);
-                if obs {
-                    out.bits_hist.observe_n(bits as u64, nbrs.len() as u64);
-                }
-                let idx = push_msg(out, msg);
-                for &u in nbrs {
-                    if traced {
-                        out.events_flat.push((v, u, bits));
+                    out.messages += nbrs.len() as u64;
+                    out.bits += (bits * nbrs.len()) as u64;
+                    out.max_bits = out.max_bits.max(bits);
+                    if obs {
+                        out.bits_hist.observe_n(bits as u64, nbrs.len() as u64);
                     }
-                    out.events_by_dest[dest_chunk[u] as usize].push((v, u, idx));
+                    let idx = push_msg(out, msg);
+                    for &u in nbrs {
+                        if traced {
+                            out.events_flat.push((v, u, bits));
+                        }
+                        out.events_by_dest[dest_chunk[u] as usize].push((v, u, idx));
+                    }
                 }
             }
             Outgoing::Unicast(list) => {
@@ -962,11 +1064,18 @@ fn process_chunk<P: Protocol>(
                 }
             }
         }
+        if !halted[off] && (full_scan || !protocol.is_quiescent(state)) {
+            next_frontier.insert(off);
+        }
+        done[off] = protocol.is_done(state);
+        let now_pending = !done[off] && !halted[off];
+        match (was_pending, now_pending) {
+            (true, false) => *pending -= 1,
+            (false, true) => *pending += 1,
+            _ => {}
+        }
     }
-    out.all_done = halted
-        .iter()
-        .zip(states.iter())
-        .all(|(h, s)| *h || protocol.is_done(s));
+    out.all_done = *pending == 0;
 }
 
 /// Rebuilds chunk `j`'s inboxes from every chunk's sends, visiting
@@ -982,8 +1091,10 @@ fn deliver_chunk<P: Protocol>(
     j: usize,
     outs: &[RwLock<ChunkOut<P::Msg>>],
 ) {
-    for ib in slot.inbox_entries.iter_mut() {
-        ib.clear();
+    // Touched-based clear: only the inboxes that received something last
+    // round are non-empty.
+    while let Some(off) = slot.inbox_touched.pop() {
+        slot.inbox_entries[off as usize].clear();
     }
     slot.arena.clear();
     let lo = slot.lo;
@@ -1003,9 +1114,24 @@ fn deliver_chunk<P: Protocol>(
                     l
                 }
             };
-            slot.inbox_entries[to - lo].push((from, local));
+            let off = to - lo;
+            if slot.inbox_entries[off].is_empty() {
+                slot.inbox_touched.push(off as u32);
+            }
+            slot.inbox_entries[off].push((from, local));
+            // A delivered message wakes its destination — this resolves
+            // same-chunk and cross-chunk wakes uniformly at the barrier,
+            // matching the serial engine's emission-time wakes exactly
+            // (halted nodes stay asleep in both).
+            if !slot.halted[off] {
+                slot.next_frontier.insert(off);
+            }
         }
     }
+    // Promote the next frontier (phase-A survivors + the wakes above)
+    // for the next round's phase A.
+    std::mem::swap(&mut slot.cur_frontier, &mut slot.next_frontier);
+    slot.next_frontier.clear();
     debug_assert!(
         slot.inbox_entries
             .iter()

@@ -173,6 +173,10 @@ pub fn arb_mis_with(g: &Graph, cfg: &ArbMisConfig, rec: &Recorder) -> ArbMisOutc
     }
     let mut in_mis = vec![false; n];
     let mut phases = PhaseRounds::default();
+    // One reusable extraction scratch for the whole pipeline: Phase 2's
+    // region lift and every Phase-4 component reuse its tables, so
+    // subgraph extraction costs O(|C| + m(C)) per component, not O(n).
+    let mut scratch = arbmis_graph::SubgraphScratch::new();
 
     // Phase 1: degree reduction (substituted; see module docs). The BEPS
     // contract is "reduce the maximum degree to the target, in
@@ -185,6 +189,7 @@ pub fn arb_mis_with(g: &Graph, cfg: &ArbMisConfig, rec: &Recorder) -> ArbMisOutc
     if cfg.degree_reduction && g.max_degree() as f64 > target {
         let cap = degree_reduction_iterations(n);
         let mut view = arbmis_graph::ActiveView::new(g);
+        let mut prio = vec![0u64; n];
         let mut iters = 0u64;
         while iters < cap {
             // High-degree nodes and their active neighborhoods compete.
@@ -202,15 +207,21 @@ pub fn arb_mis_with(g: &Graph, cfg: &ArbMisConfig, rec: &Recorder) -> ArbMisOutc
             if !any_high {
                 break;
             }
+            // Draw each competitor's priority once per iteration instead
+            // of re-hashing it for every incident edge (the comparison
+            // tuple `(prio[v], v)` is exactly `metivier::priority`).
+            for v in view.active_nodes() {
+                if competes[v] {
+                    prio[v] = metivier::priority(cfg.seed ^ 0xdeed, v, iters, n).0;
+                }
+            }
             let joiners: Vec<NodeId> = view
                 .active_nodes()
                 .filter(|&v| {
-                    competes[v] && {
-                        let pv = metivier::priority(cfg.seed ^ 0xdeed, v, iters, n);
-                        view.active_neighbors(v).all(|u| {
-                            !competes[u] || pv > metivier::priority(cfg.seed ^ 0xdeed, u, iters, n)
-                        })
-                    }
+                    competes[v]
+                        && view
+                            .active_neighbors(v)
+                            .all(|u| !competes[u] || (prio[v], v) > (prio[u], u))
                 })
                 .collect();
             for &v in &joiners {
@@ -230,32 +241,37 @@ pub fn arb_mis_with(g: &Graph, cfg: &ArbMisConfig, rec: &Recorder) -> ArbMisOutc
     drop(dr_span);
 
     // Phase 2: shattering on the residual region (opens its own span).
-    let sub = arbmis_graph::InducedSubgraph::new(g, &region);
-    let ba_cfg = BoundedArbConfig {
-        alpha: cfg.alpha,
-        mode: cfg.mode,
-        seed: cfg.seed,
-        rho_cutoff: true,
-        record_iterations: false,
-    };
-    let local = bounded_arb_independent_set_with(sub.graph(), &ba_cfg, rec);
-    phases.shattering = local.rounds;
-    // Lift the shatter outcome to original ids.
-    let mut shatter = ShatterOutcome {
-        in_mis: vec![false; n],
-        bad: vec![false; n],
-        active: vec![false; n],
-        ..local.clone()
-    };
-    for i in 0..sub.n() {
-        let v = sub.to_parent(i);
-        shatter.in_mis[v] = local.in_mis[i];
-        shatter.bad[v] = local.bad[i];
-        shatter.active[v] = local.active[i];
-        if local.in_mis[i] {
-            in_mis[v] = true;
+    // The extraction borrows `scratch`, so the block scopes it: the
+    // scratch is free again for the Phase-4 component loop.
+    let shatter = {
+        let sub = scratch.induce_mask(g, &region);
+        let ba_cfg = BoundedArbConfig {
+            alpha: cfg.alpha,
+            mode: cfg.mode,
+            seed: cfg.seed,
+            rho_cutoff: true,
+            record_iterations: false,
+        };
+        let local = bounded_arb_independent_set_with(sub.graph(), &ba_cfg, rec);
+        phases.shattering = local.rounds;
+        // Lift the shatter outcome to original ids.
+        let mut shatter = ShatterOutcome {
+            in_mis: vec![false; n],
+            bad: vec![false; n],
+            active: vec![false; n],
+            ..local.clone()
+        };
+        for i in 0..sub.n() {
+            let v = sub.to_parent(i);
+            shatter.in_mis[v] = local.in_mis[i];
+            shatter.bad[v] = local.bad[i];
+            shatter.active[v] = local.active[i];
+            if local.in_mis[i] {
+                in_mis[v] = true;
+            }
         }
-    }
+        shatter
+    };
 
     // Phase 3: split the residual VIB into V_lo / V_hi by the final
     // scale's high-degree threshold (measured in the shattering graph's
@@ -323,7 +339,7 @@ pub fn arb_mis_with(g: &Graph, cfg: &ArbMisConfig, rec: &Recorder) -> ArbMisOutc
             if obs {
                 comp_hist.observe(comp.len() as u64);
             }
-            let rounds = finish_bad_component(g, comp, cfg, rec, &mut in_mis);
+            let rounds = finish_bad_component(g, comp, cfg, rec, &mut in_mis, &mut scratch);
             max_component_rounds = max_component_rounds.max(rounds);
         }
         if obs {
@@ -356,14 +372,17 @@ pub fn arb_mis_with(g: &Graph, cfg: &ArbMisConfig, rec: &Recorder) -> ArbMisOutc
 /// Lemma 3.8 on one component of `B`: forest-decompose, Cole–Vishkin
 /// 3-color the densest forest, sweep color classes restricted to the
 /// still-undominated part of the component. Returns the rounds spent.
+/// Extraction goes through the caller's `scratch`, so the cost is
+/// O(|C| + m(C)) per component with no O(n) allocations.
 fn finish_bad_component(
     g: &Graph,
     component: &[NodeId],
     cfg: &ArbMisConfig,
     rec: &Recorder,
     in_mis: &mut [bool],
+    scratch: &mut arbmis_graph::SubgraphScratch,
 ) -> u64 {
-    let sub = arbmis_graph::InducedSubgraph::from_nodes(g, component);
+    let sub = scratch.induce(g, component);
     let cg = sub.graph();
     // The component has arboricity ≤ α (subgraphs never exceed the bound).
     let (forests, decomp_rounds) = {

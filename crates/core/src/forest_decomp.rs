@@ -193,6 +193,16 @@ impl arbmis_congest::Protocol for HPartitionProtocol {
     fn is_done(&self, st: &HPartitionState) -> bool {
         st.done
     }
+
+    /// Above-threshold unpeeled nodes are inert on an empty inbox at any
+    /// round — only a neighbor's peel announcement changes their degree —
+    /// and `done` nodes' next activation is `Halt` with `is_done` already
+    /// true. Peeling therefore costs the engines O(#peeled + messages)
+    /// per round, not O(n). (Announced-but-unfinished nodes are *not*
+    /// quiescent: their next activation flips `done`.)
+    fn is_quiescent(&self, st: &HPartitionState) -> bool {
+        st.done || (st.level.is_none() && st.active_degree > self.threshold)
+    }
 }
 
 #[cfg(test)]

@@ -46,14 +46,27 @@ pub fn priority(seed: u64, v: NodeId, iter: u64, n: usize) -> (u64, NodeId) {
 
 /// Runs one iteration on `view`: computes joiners, deactivates them and
 /// their neighbors, records them in `in_mis`. Returns how many joined.
-pub(crate) fn step(view: &mut ActiveView<'_>, in_mis: &mut [bool], seed: u64, iter: u64) -> usize {
+///
+/// `prio` is caller-owned scratch of length `n`: each active node's draw
+/// is hashed once per iteration and compared as the tuple `(prio[v], v)`
+/// — exactly [`priority`], so joiner sets are identical to the naive
+/// per-edge re-draw, at O(active) hashes instead of O(Σ deg).
+pub(crate) fn step(
+    view: &mut ActiveView<'_>,
+    in_mis: &mut [bool],
+    seed: u64,
+    iter: u64,
+    prio: &mut [u64],
+) -> usize {
     let n = view.graph().n();
+    for v in view.active_nodes() {
+        prio[v] = rng::draw_priority(seed, v, iter, TAG_PRIORITY, n);
+    }
     let joiners: Vec<NodeId> = view
         .active_nodes()
         .filter(|&v| {
-            let pv = priority(seed, v, iter, n);
             view.active_neighbors(v)
-                .all(|u| pv > priority(seed, u, iter, n))
+                .all(|u| (prio[v], v) > (prio[u], u))
         })
         .collect();
     for &v in &joiners {
@@ -80,9 +93,10 @@ pub(crate) fn step(view: &mut ActiveView<'_>, in_mis: &mut [bool], seed: u64, it
 pub fn run(g: &Graph, seed: u64) -> MisRun {
     let mut view = ActiveView::new(g);
     let mut in_mis = vec![false; g.n()];
+    let mut prio = vec![0u64; g.n()];
     let mut iter = 0u64;
     while view.active_count() > 0 {
-        step(&mut view, &mut in_mis, seed, iter);
+        step(&mut view, &mut in_mis, seed, iter, &mut prio);
         iter += 1;
     }
     MisRun::new(in_mis, iter, iter * ROUNDS_PER_ITERATION)
@@ -95,9 +109,10 @@ pub fn run(g: &Graph, seed: u64) -> MisRun {
 pub fn run_region(g: &Graph, region: &[bool], seed: u64) -> MisRun {
     let mut view = ActiveView::from_mask(g, region);
     let mut in_mis = vec![false; g.n()];
+    let mut prio = vec![0u64; g.n()];
     let mut iter = 0u64;
     while view.active_count() > 0 {
-        step(&mut view, &mut in_mis, seed, iter);
+        step(&mut view, &mut in_mis, seed, iter, &mut prio);
         iter += 1;
     }
     MisRun::new(in_mis, iter, iter * ROUNDS_PER_ITERATION)
@@ -108,9 +123,10 @@ pub fn run_region(g: &Graph, region: &[bool], seed: u64) -> MisRun {
 pub fn run_partial(g: &Graph, seed: u64, iterations: u64) -> PartialRun {
     let mut view = ActiveView::new(g);
     let mut in_mis = vec![false; g.n()];
+    let mut prio = vec![0u64; g.n()];
     let mut iter = 0u64;
     while iter < iterations && view.active_count() > 0 {
-        step(&mut view, &mut in_mis, seed, iter);
+        step(&mut view, &mut in_mis, seed, iter, &mut prio);
         iter += 1;
     }
     PartialRun {

@@ -83,8 +83,10 @@ pub fn tree_mis(g: &Graph, seed: u64) -> TreeMisOutcome {
     let mut in_mis = partial.in_mis;
     let shatter_rounds = partial.iterations * metivier::ROUNDS_PER_ITERATION;
 
-    // Finish residual components deterministically.
+    // Finish residual components deterministically. One extraction
+    // scratch serves all components: O(|C| + m(C)) each, not O(n).
     let comps = traversal::components_of_subset(g, &partial.active);
+    let mut scratch = arbmis_graph::SubgraphScratch::new();
     let mut finish_rounds = 0u64;
     let mut residual_component_sizes = Vec::new();
     for comp in comps.members() {
@@ -92,7 +94,7 @@ pub fn tree_mis(g: &Graph, seed: u64) -> TreeMisOutcome {
             continue;
         }
         residual_component_sizes.push(comp.len());
-        finish_rounds = finish_rounds.max(finish_component(g, &comp, &mut in_mis));
+        finish_rounds = finish_rounds.max(finish_component(g, &comp, &mut in_mis, &mut scratch));
     }
     TreeMisOutcome {
         rounds: shatter_rounds + finish_rounds,
@@ -105,8 +107,13 @@ pub fn tree_mis(g: &Graph, seed: u64) -> TreeMisOutcome {
 
 /// Roots one residual tree component, 3-colors it, and sweeps. Returns
 /// the rounds used (rooting depth + CV + sweeps).
-fn finish_component(g: &Graph, component: &[NodeId], in_mis: &mut [bool]) -> u64 {
-    let sub = arbmis_graph::InducedSubgraph::from_nodes(g, component);
+fn finish_component(
+    g: &Graph,
+    component: &[NodeId],
+    in_mis: &mut [bool],
+    scratch: &mut arbmis_graph::SubgraphScratch,
+) -> u64 {
+    let sub = scratch.induce(g, component);
     let cg = sub.graph();
     // Root at the minimum-id node: BFS gives parent pointers; depth =
     // rooting rounds in a distributed implementation.

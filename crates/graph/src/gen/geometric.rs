@@ -26,24 +26,76 @@ pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> 
             ((y / cell) as i64).min(cells_per_side - 1),
         )
     };
-    let mut grid: std::collections::HashMap<(i64, i64), Vec<NodeId>> =
-        std::collections::HashMap::new();
-    for (v, &(x, y)) in pts.iter().enumerate() {
-        grid.entry(key(x, y)).or_default().push(v);
-    }
+    // Dense Vec-indexed grid: a counting-sort CSR over cells_per_side²
+    // cells keeps the hot 3×3 scan hash-free, with per-cell buckets in
+    // ascending node order — exactly the insertion order the previous
+    // HashMap grid produced, so the edge output is unchanged. Pathological
+    // radii where the cell count dwarfs the point count fall back to a
+    // HashMap of only the occupied cells.
+    let cps = cells_per_side as usize;
     let r2 = radius * radius;
     let mut b = GraphBuilder::new(n);
-    for (v, &(x, y)) in pts.iter().enumerate() {
-        let (cx, cy) = key(x, y);
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                if let Some(bucket) = grid.get(&(cx + dx, cy + dy)) {
-                    for &u in bucket {
+    if cps.checked_mul(cps).is_some_and(|c| c <= 4 * n + 1024) {
+        let ncells = cps * cps;
+        let cidx: Vec<usize> = pts
+            .iter()
+            .map(|&(x, y)| {
+                let (cx, cy) = key(x, y);
+                cx as usize * cps + cy as usize
+            })
+            .collect();
+        let mut start = vec![0usize; ncells + 1];
+        for &c in &cidx {
+            start[c + 1] += 1;
+        }
+        for i in 0..ncells {
+            start[i + 1] += start[i];
+        }
+        let mut bucket = vec![0 as NodeId; n];
+        let mut cursor = start.clone();
+        for (v, &c) in cidx.iter().enumerate() {
+            bucket[cursor[c]] = v;
+            cursor[c] += 1;
+        }
+        for (v, &(x, y)) in pts.iter().enumerate() {
+            let (cx, cy) = key(x, y);
+            for dx in -1..=1i64 {
+                for dy in -1..=1i64 {
+                    let (nx, ny) = (cx + dx, cy + dy);
+                    if nx < 0 || ny < 0 || nx >= cells_per_side || ny >= cells_per_side {
+                        continue;
+                    }
+                    let c = nx as usize * cps + ny as usize;
+                    for &u in &bucket[start[c]..start[c + 1]] {
                         if u > v {
                             let (ux, uy) = pts[u];
                             let (ddx, ddy) = (ux - x, uy - y);
                             if ddx * ddx + ddy * ddy <= r2 {
                                 b.add_edge(v, u);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        let mut grid: std::collections::HashMap<(i64, i64), Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for (v, &(x, y)) in pts.iter().enumerate() {
+            grid.entry(key(x, y)).or_default().push(v);
+        }
+        for (v, &(x, y)) in pts.iter().enumerate() {
+            let (cx, cy) = key(x, y);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    if let Some(bucket) = grid.get(&(cx + dx, cy + dy)) {
+                        for &u in bucket {
+                            if u > v {
+                                let (ux, uy) = pts[u];
+                                let (ddx, ddy) = (ux - x, uy - y);
+                                if ddx * ddx + ddy * ddy <= r2 {
+                                    b.add_edge(v, u);
+                                }
                             }
                         }
                     }
@@ -201,6 +253,25 @@ mod tests {
                 let (dx, dy) = (pts[u].0 - pts[v].0, pts[u].1 - pts[v].1);
                 let within = dx * dx + dy * dy <= 0.15f64 * 0.15;
                 assert_eq!(g.has_edge(u, v), within, "pair ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_tiny_radius_takes_sparse_fallback() {
+        // radius 1e-6 → 10¹² cells ≫ 4n: the HashMap fallback must agree
+        // with brute force just like the dense path.
+        let mut r = rng(7);
+        let g = random_geometric(80, 1e-6, &mut r);
+        assert!(check_well_formed(&g).is_ok());
+        let mut r2 = rng(7);
+        let pts: Vec<(f64, f64)> = (0..80)
+            .map(|_| (r2.gen::<f64>(), r2.gen::<f64>()))
+            .collect();
+        for u in 0..80usize {
+            for v in (u + 1)..80 {
+                let (dx, dy) = (pts[u].0 - pts[v].0, pts[u].1 - pts[v].1);
+                assert_eq!(g.has_edge(u, v), dx * dx + dy * dy <= 1e-12, "({u},{v})");
             }
         }
     }

@@ -53,4 +53,4 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use graph::{Graph, NodeId};
-pub use subgraph::{ActiveView, InducedSubgraph};
+pub use subgraph::{ActiveView, InducedSubgraph, ScratchSubgraph, SubgraphScratch};

@@ -93,6 +93,143 @@ impl InducedSubgraph {
     }
 }
 
+/// Reusable scratch for repeated induced-subgraph extraction.
+///
+/// [`InducedSubgraph::from_nodes`] allocates two `O(n)` vectors per call
+/// (an inclusion mask and a parent→local table), which dominates when a
+/// finishing phase extracts thousands of tiny components from one big
+/// graph. `SubgraphScratch` keeps those tables alive across calls and
+/// invalidates them in `O(1)` with an epoch stamp, so each
+/// [`induce`](Self::induce) costs `O(|C| + m(C))` — proportional to the
+/// component, never to `n` (beyond a one-time lazy resize when the parent
+/// graph grows).
+///
+/// # Example
+///
+/// ```
+/// use arbmis_graph::{gen, InducedSubgraph, SubgraphScratch};
+///
+/// let g = gen::path(6);
+/// let mut scratch = SubgraphScratch::new();
+/// let sub = scratch.induce(&g, &[3, 4, 5]);
+/// assert_eq!(sub.n(), 3);
+/// assert_eq!(sub.graph(), InducedSubgraph::from_nodes(&g, &[3, 4, 5]).graph());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SubgraphScratch {
+    /// Current extraction generation; `stamp[v] == epoch` ⇔ `v` included.
+    epoch: u64,
+    /// Per-parent-node inclusion stamp (lazily sized to the parent graph).
+    stamp: Vec<u64>,
+    /// `local[v]` = local id of `v`, valid only when `stamp[v] == epoch`.
+    local: Vec<u32>,
+    /// Sorted, deduplicated node list of the current extraction.
+    nodes: Vec<NodeId>,
+}
+
+impl SubgraphScratch {
+    /// Creates an empty scratch; tables are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the next epoch's tables for parent graph `g`.
+    fn begin(&mut self, g: &Graph) {
+        assert!(g.n() <= u32::MAX as usize, "graph too large for u32 ids");
+        if self.stamp.len() < g.n() {
+            self.stamp.resize(g.n(), 0);
+            self.local.resize(g.n(), 0);
+        }
+        self.epoch += 1;
+        self.nodes.clear();
+    }
+
+    /// Builds the compacted graph from the sorted `self.nodes` list. Edge
+    /// insertion order matches [`InducedSubgraph::new`] exactly, so the
+    /// built graphs are equal.
+    fn finish(&mut self, g: &Graph) -> Graph {
+        for (i, &v) in self.nodes.iter().enumerate() {
+            self.stamp[v] = self.epoch;
+            self.local[v] = i as u32;
+        }
+        let mut b = GraphBuilder::new(self.nodes.len());
+        for (i, &v) in self.nodes.iter().enumerate() {
+            for &u in g.neighbors(v) {
+                if u > v && self.stamp[u] == self.epoch {
+                    b.add_edge(i, self.local[u] as usize);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Extracts the subgraph of `g` induced by `nodes` (duplicates
+    /// ignored, order irrelevant — local ids ascend by parent id, exactly
+    /// as in [`InducedSubgraph::from_nodes`]).
+    ///
+    /// The returned view borrows the scratch; drop it before the next
+    /// extraction.
+    pub fn induce<'a>(&'a mut self, g: &Graph, nodes: &[NodeId]) -> ScratchSubgraph<'a> {
+        self.begin(g);
+        self.nodes.extend_from_slice(nodes);
+        self.nodes.sort_unstable();
+        self.nodes.dedup();
+        let graph = self.finish(g);
+        ScratchSubgraph {
+            graph,
+            scratch: self,
+        }
+    }
+
+    /// Extracts the subgraph induced by `mask` (`O(n)` scan — intended
+    /// for once-per-run extractions, not per-component loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != g.n()`.
+    pub fn induce_mask<'a>(&'a mut self, g: &Graph, mask: &[bool]) -> ScratchSubgraph<'a> {
+        assert_eq!(mask.len(), g.n());
+        self.begin(g);
+        self.nodes.extend((0..g.n()).filter(|&v| mask[v]));
+        let graph = self.finish(g);
+        ScratchSubgraph {
+            graph,
+            scratch: self,
+        }
+    }
+}
+
+/// A borrowed view of one [`SubgraphScratch`] extraction: the compacted
+/// graph plus parent↔local id mappings, mirroring [`InducedSubgraph`]'s
+/// accessors.
+#[derive(Debug)]
+pub struct ScratchSubgraph<'a> {
+    graph: Graph,
+    scratch: &'a SubgraphScratch,
+}
+
+impl ScratchSubgraph<'_> {
+    /// The compacted graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Parent id of local node `i`.
+    pub fn to_parent(&self, i: usize) -> NodeId {
+        self.scratch.nodes[i]
+    }
+
+    /// Local id of parent node `v`, if included.
+    pub fn to_local(&self, v: NodeId) -> Option<usize> {
+        (self.scratch.stamp[v] == self.scratch.epoch).then(|| self.scratch.local[v] as usize)
+    }
+
+    /// Number of included nodes.
+    pub fn n(&self) -> usize {
+        self.scratch.nodes.len()
+    }
+}
+
 /// A mutable *active set* view of a graph: the paper's `VIB` with
 /// `Γ_IB(v)` and `deg_IB(v)` queries.
 ///
@@ -306,5 +443,62 @@ mod tests {
         let view = ActiveView::new(&g);
         assert_eq!(view.active_count(), 0);
         assert_eq!(view.max_active_degree(), 0);
+    }
+
+    #[test]
+    fn scratch_matches_induced_subgraph_across_epochs() {
+        use rand::SeedableRng;
+        let mut r = rand::rngs::StdRng::seed_from_u64(7);
+        let g = gen::gnp(200, 0.05, &mut r);
+        let mut scratch = SubgraphScratch::new();
+        // Overlapping node sets across epochs: stale stamps must never
+        // leak membership or local ids into a later extraction.
+        let sets: Vec<Vec<usize>> = vec![
+            (0..50).collect(),
+            (25..120).collect(),
+            vec![199, 3, 3, 77, 3, 10], // duplicates + scrambled order
+            (0..200).collect(),
+            vec![],
+            vec![42],
+        ];
+        for nodes in &sets {
+            let expect = InducedSubgraph::from_nodes(&g, nodes);
+            let got = scratch.induce(&g, nodes);
+            assert_eq!(got.graph(), expect.graph());
+            assert_eq!(got.n(), expect.n());
+            for i in 0..expect.n() {
+                assert_eq!(got.to_parent(i), expect.to_parent(i));
+            }
+            for v in 0..g.n() {
+                assert_eq!(got.to_local(v), expect.to_local(v), "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_mask_matches_new() {
+        let g = gen::cycle(9);
+        let mask = [true, true, false, true, true, true, false, false, true];
+        let expect = InducedSubgraph::new(&g, &mask);
+        let mut scratch = SubgraphScratch::new();
+        let got = scratch.induce_mask(&g, &mask);
+        assert_eq!(got.graph(), expect.graph());
+        for i in 0..expect.n() {
+            assert_eq!(got.to_parent(i), expect.to_parent(i));
+        }
+    }
+
+    #[test]
+    fn scratch_handles_growing_parent_graphs() {
+        let small = gen::path(4);
+        let big = gen::path(400);
+        let mut scratch = SubgraphScratch::new();
+        assert_eq!(scratch.induce(&small, &[1, 2]).graph().m(), 1);
+        // Reuse against a larger graph must lazily grow the tables.
+        let sub = scratch.induce(&big, &[397, 398, 399]);
+        assert_eq!(sub.graph().m(), 2);
+        assert_eq!(sub.to_parent(0), 397);
+        assert_eq!(sub.to_local(399), Some(2));
+        assert_eq!(sub.to_local(0), None);
     }
 }

@@ -239,6 +239,121 @@ fn recorder_contents_identical_across_engines_and_threads() {
     }
 }
 
+/// Runs `proto` with the diagnostic full scan (every non-halted node
+/// steps every round) serially, then compares the default sparse
+/// frontier against it — serial and at every thread count, both frontier
+/// and full-scan parallel. Frontier bookkeeping is a pure scheduling
+/// optimization; any divergence here means a protocol's `is_quiescent`
+/// or the engines' wake rules are unsound (DESIGN.md §10).
+fn assert_frontier_differential<P, K>(
+    g: &arbmis::graph::Graph,
+    seed: u64,
+    proto: &P,
+    max_rounds: u64,
+    label: &str,
+    project: impl Fn(&P::State) -> K,
+) where
+    P: Protocol + Sync,
+    P::State: Send,
+    P::Msg: Send + Sync,
+    K: PartialEq + std::fmt::Debug,
+{
+    let (full, t_full) = Simulator::new(g, seed)
+        .with_parallelism(Parallelism::Serial)
+        .with_full_scan(true)
+        .run_traced(proto, max_rounds)
+        .unwrap_or_else(|e| panic!("{label}: full-scan serial run failed: {e}"));
+    let full_out: Vec<K> = full.states.iter().map(&project).collect();
+    let check = |tag: &str,
+                 run: arbmis::congest::SimulatorRun<P::State>,
+                 t: arbmis::congest::transcript::Transcript| {
+        assert_eq!(t.digest(), t_full.digest(), "{label}/{tag}: digest");
+        assert_eq!(t.entries(), t_full.entries(), "{label}/{tag}: entries");
+        assert_eq!(run.metrics, full.metrics, "{label}/{tag}: metrics");
+        let out: Vec<K> = run.states.iter().map(&project).collect();
+        assert_eq!(out, full_out, "{label}/{tag}: states");
+    };
+    let (run, t) = Simulator::new(g, seed)
+        .with_parallelism(Parallelism::Serial)
+        .run_traced(proto, max_rounds)
+        .unwrap_or_else(|e| panic!("{label}: frontier serial run failed: {e}"));
+    check("serial-frontier", run, t);
+    for threads in THREADS {
+        for full_scan in [false, true] {
+            let (run, t) = Simulator::new(g, seed)
+                .with_parallelism(Parallelism::Threads(threads))
+                .with_full_scan(full_scan)
+                .run_parallel_traced(proto, max_rounds)
+                .unwrap_or_else(|e| {
+                    panic!("{label}: parallel ({threads}t, full_scan={full_scan}) failed: {e}")
+                });
+            check(&format!("{threads}t-full_scan={full_scan}"), run, t);
+        }
+    }
+}
+
+#[test]
+fn frontier_matches_full_scan_mis_protocols() {
+    let g = graph(GraphFamily::GnpAvgDegree { d: 5.0 }, 150, 41);
+    for seed in 0..2 {
+        assert_frontier_differential(&g, seed, &MetivierProtocol, 50_000, "metivier", |s| {
+            (s.in_mis, s.active)
+        });
+        assert_frontier_differential(&g, seed, &LubyProtocol, 50_000, "luby", |s| {
+            (s.in_mis, s.active)
+        });
+    }
+}
+
+#[test]
+fn frontier_matches_full_scan_bounded_arb() {
+    let g = graph(GraphFamily::Apollonian, 150, 42);
+    for seed in 0..2 {
+        let cfg = BoundedArbConfig::new(3, seed);
+        let fast = bounded_arb_independent_set(&g, &cfg);
+        let proto = BoundedArbProtocol {
+            params: fast.params,
+            rho_cutoff: true,
+        };
+        assert_frontier_differential(
+            &g,
+            seed,
+            &proto,
+            proto.total_rounds() + 2,
+            "bounded_arb",
+            |s| (s.in_mis, s.bad, s.active),
+        );
+    }
+}
+
+#[test]
+fn frontier_matches_full_scan_h_partition() {
+    // HPartition overrides `is_quiescent` (above-threshold nodes sleep),
+    // so this exercises a protocol-specific quiescence predicate.
+    let g = graph(GraphFamily::Apollonian, 200, 43);
+    let proto = HPartitionProtocol { threshold: 9 };
+    for seed in 0..2 {
+        assert_frontier_differential(&g, seed, &proto, 10_000, "h_partition", |s| s.level);
+    }
+}
+
+#[test]
+fn frontier_matches_full_scan_converge_cast() {
+    // The sharpest frontier case: a converge-cast wave on a path steps
+    // exactly one node per round under the sparse frontier, ~n under the
+    // full scan — yet every observable must agree.
+    use arbmis::congest::algorithms::ConvergeCast;
+    let n = 300;
+    let g = arbmis::graph::gen::path(n);
+    let parent: Vec<Option<usize>> = (0..n).map(|v| (v + 1 < n).then_some(v + 1)).collect();
+    let proto = ConvergeCast::new(parent, vec![1; n]);
+    for seed in 0..2 {
+        assert_frontier_differential(&g, seed, &proto, n as u64 + 5, "converge_cast", |s| {
+            (s.sum, s.done)
+        });
+    }
+}
+
 /// `Parallelism::Auto` (whatever the host core count) agrees with serial
 /// too — the contract holds for the default configuration, not just the
 /// pinned thread counts above.
