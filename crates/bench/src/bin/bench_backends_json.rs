@@ -1,0 +1,169 @@
+//! Congest-vs-flat backend benchmark: measures median ns/round of the
+//! CONGEST simulator against the flat shared-memory backend on the same
+//! Métivier executions (identical coins, identical rounds) and writes
+//! `BENCH_backends.json` so the speedup trajectory accumulates across
+//! commits.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_backends_json [--out PATH] [--samples N] [--quick]
+//! ```
+//!
+//! The workload is G(n, d̄ = 4) at generator scales 50k / 1M / 10M
+//! nodes; `--quick` keeps only the 50k point (the CI smoke). Before
+//! timing, each point cross-checks that the two backends computed the
+//! same MIS in the same number of rounds — the numbers are only
+//! comparable because the executions are identical.
+
+use arbmis_congest::{Parallelism, Simulator};
+use arbmis_core::protocols::MetivierProtocol;
+use arbmis_flat::{FlatAlgo, FlatBackend, MisBackend};
+use arbmis_graph::{gen, Graph};
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+const SEED: u64 = 3;
+const MAX_ROUNDS: u64 = 100_000;
+
+#[derive(Serialize, Deserialize)]
+struct BenchDoc {
+    schema: String,
+    samples: u64,
+    host_threads: u64,
+    workloads: Vec<BenchEntry>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchEntry {
+    name: String,
+    protocol: String,
+    n: u64,
+    m: u64,
+    /// CONGEST rounds — identical for both backends by construction.
+    rounds: u64,
+    congest_serial_ns_per_round: f64,
+    flat_ns_per_round: f64,
+    /// `congest_serial_ns_per_round / flat_ns_per_round`.
+    flat_speedup: f64,
+}
+
+/// Median of `samples` measurements of `ns/round`; also returns the
+/// round count (identical across samples — the engines are
+/// deterministic).
+fn median_ns_per_round(samples: usize, mut run: impl FnMut() -> (u64, u64)) -> (f64, u64) {
+    let mut rounds = 0;
+    let mut per_round: Vec<f64> = (0..samples)
+        .map(|_| {
+            let (ns, r) = run();
+            rounds = r;
+            ns as f64 / r.max(1) as f64
+        })
+        .collect();
+    per_round.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (per_round[per_round.len() / 2], rounds)
+}
+
+fn measure(g: &Graph, samples: usize) -> BenchEntry {
+    // Cross-check once: same MIS, same round count.
+    let sim_run = Simulator::new(g, SEED)
+        .with_parallelism(Parallelism::Serial)
+        .run(&MetivierProtocol, MAX_ROUNDS)
+        .expect("congest run");
+    let mut flat = FlatBackend::new(g, SEED, FlatAlgo::Metivier);
+    let flat_run = flat.run(MAX_ROUNDS).expect("flat run");
+    assert_eq!(
+        flat_run.rounds, sim_run.metrics.rounds,
+        "backends disagree on round count"
+    );
+    for (v, s) in sim_run.states.iter().enumerate() {
+        assert_eq!(flat.mis()[v], s.in_mis, "backends disagree on node {v}");
+    }
+
+    let (congest_ns, rounds) = median_ns_per_round(samples, || {
+        let sim = Simulator::new(g, SEED).with_parallelism(Parallelism::Serial);
+        let t0 = Instant::now();
+        let run = sim.run(&MetivierProtocol, MAX_ROUNDS).unwrap();
+        (t0.elapsed().as_nanos() as u64, run.metrics.rounds)
+    });
+    let (flat_ns, flat_rounds) = median_ns_per_round(samples, || {
+        let t0 = Instant::now();
+        let run = flat.run(MAX_ROUNDS).unwrap();
+        (t0.elapsed().as_nanos() as u64, run.rounds)
+    });
+    assert_eq!(rounds, flat_rounds);
+
+    let name = format!("gnp{}_d4", fmt_scale(g.n()));
+    eprintln!(
+        "{name}: congest {congest_ns:.0} ns/round, flat {flat_ns:.0} ns/round ({:.1}x)",
+        congest_ns / flat_ns
+    );
+    BenchEntry {
+        name,
+        protocol: "metivier".to_string(),
+        n: g.n() as u64,
+        m: g.m() as u64,
+        rounds,
+        congest_serial_ns_per_round: congest_ns,
+        flat_ns_per_round: flat_ns,
+        flat_speedup: congest_ns / flat_ns,
+    }
+}
+
+fn fmt_scale(n: usize) -> String {
+    if n.is_multiple_of(1_000_000) {
+        format!("{}m", n / 1_000_000)
+    } else {
+        format!("{}k", n / 1_000)
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_backends.json".to_string();
+    let mut samples = 3usize;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--samples" => {
+                samples = args
+                    .next()
+                    .expect("--samples needs a count")
+                    .parse()
+                    .expect("--samples must be an integer")
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scales: &[usize] = if quick {
+        &[50_000]
+    } else {
+        &[50_000, 1_000_000, 10_000_000]
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut entries = Vec::new();
+    for &n in scales {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let g = gen::gnp_with_expected_degree(n, 4.0, &mut rng);
+        entries.push(measure(&g, samples));
+    }
+
+    let doc = BenchDoc {
+        schema: "bench_backends/v1".to_string(),
+        samples: samples as u64,
+        host_threads: threads as u64,
+        workloads: entries,
+    };
+    let text = serde_json::to_string_pretty(&doc).expect("serializing the JSON artifact");
+    std::fs::write(&out_path, text + "\n").expect("writing the JSON artifact");
+    eprintln!("wrote {out_path}");
+}

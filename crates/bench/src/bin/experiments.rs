@@ -15,6 +15,10 @@
 //! experiments --no-cache      # recompute everything, touch no disk state
 //! experiments --metrics-out m.prom  # Prometheus text exposition of the run
 //! experiments --trace-out t.jsonl   # JSONL span/event log of the run
+//! experiments --backend flat  # route Luby/Métivier baselines through a
+//!                             # MisBackend engine (fast|congest|flat);
+//!                             # reports are byte-identical, cache keys
+//!                             # differ (DESIGN.md §11)
 //! ```
 //!
 //! Experiments are decomposed into cells and fanned onto one shared
@@ -27,6 +31,7 @@
 //! experiment result — the `--json` report is byte-identical with and
 //! without them (CI diffs exactly that).
 
+use arbmis_bench::backend::MisBackendChoice;
 use arbmis_bench::cache::{set_global_cache, Cache};
 use arbmis_bench::sched::{cell_count, run_scheduled};
 use arbmis_bench::ExperimentReport;
@@ -48,6 +53,7 @@ struct Args {
     no_cache: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    backend: MisBackendChoice,
 }
 
 fn parse_args() -> Args {
@@ -62,6 +68,7 @@ fn parse_args() -> Args {
         no_cache: false,
         metrics_out: None,
         trace_out: None,
+        backend: MisBackendChoice::Fast,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -86,6 +93,13 @@ fn parse_args() -> Args {
             "--trace-out" => {
                 args.trace_out = Some(it.next().expect("--trace-out needs a path"));
             }
+            "--backend" => {
+                let v = it.next().expect("--backend needs fast, congest, or flat");
+                args.backend = v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
             "--exp" => {
                 // Consume ids until the next flag.
             }
@@ -93,7 +107,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: experiments [--list] [--quick] [--markdown] [--json PATH] \
                      [--threads N] [--cache-dir PATH] [--no-cache] [--metrics-out PATH] \
-                     [--trace-out PATH] [--exp E1 E2 ...]"
+                     [--trace-out PATH] [--backend fast|congest|flat] [--exp E1 E2 ...]"
                 );
                 std::process::exit(0);
             }
@@ -111,6 +125,11 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // Before building plans: cell keys embed the backend label.
+    arbmis_bench::backend::set_choice(args.backend);
+    if args.backend != MisBackendChoice::Fast {
+        eprintln!("[experiments] backend: {}", args.backend.label());
+    }
     let registry = arbmis_bench::exps::all();
     if args.list {
         for (id, desc, _) in registry {

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
+pub mod backend;
 pub mod cache;
 pub mod cell;
 pub mod exps;

@@ -10,7 +10,7 @@ use arbmis_graph::NodeId;
 
 /// A two-level bitset over `0..n` with ascending iteration.
 #[derive(Clone, Debug)]
-pub(crate) struct Frontier {
+pub struct Frontier {
     /// Bit `v % 64` of `words[v / 64]` ⇔ `v` is in the set.
     words: Vec<u64>,
     /// Bit `w % 64` of `summary[w / 64]` ⇔ `words[w] != 0`.
@@ -19,7 +19,7 @@ pub(crate) struct Frontier {
 
 impl Frontier {
     /// An empty set over `0..n`.
-    pub(crate) fn new(n: usize) -> Self {
+    pub fn new(n: usize) -> Self {
         let nwords = n.div_ceil(64);
         Frontier {
             words: vec![0; nwords],
@@ -29,7 +29,7 @@ impl Frontier {
 
     /// Inserts `v` (idempotent).
     #[inline]
-    pub(crate) fn insert(&mut self, v: NodeId) {
+    pub fn insert(&mut self, v: NodeId) {
         let w = v >> 6;
         self.words[w] |= 1u64 << (v & 63);
         self.summary[w >> 6] |= 1u64 << (w & 63);
@@ -37,7 +37,7 @@ impl Frontier {
 
     /// Removes `v` (idempotent).
     #[inline]
-    pub(crate) fn remove(&mut self, v: NodeId) {
+    pub fn remove(&mut self, v: NodeId) {
         let w = v >> 6;
         self.words[w] &= !(1u64 << (v & 63));
         if self.words[w] == 0 {
@@ -46,13 +46,13 @@ impl Frontier {
     }
 
     /// Whether `v` is in the set.
-    #[cfg(test)]
-    pub(crate) fn contains(&self, v: NodeId) -> bool {
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
         self.words[v >> 6] & (1u64 << (v & 63)) != 0
     }
 
     /// Empties the set, touching only dirty words.
-    pub(crate) fn clear(&mut self) {
+    pub fn clear(&mut self) {
         for (s, &sw) in self.summary.iter().enumerate() {
             let mut sbits = sw;
             while sbits != 0 {
@@ -66,7 +66,7 @@ impl Frontier {
 
     /// Iterates members in ascending order. The set must not be mutated
     /// while the iterator is live (enforced by the borrow).
-    pub(crate) fn iter(&self) -> FrontierIter<'_> {
+    pub fn iter(&self) -> FrontierIter<'_> {
         FrontierIter {
             frontier: self,
             sidx: 0,
@@ -78,7 +78,7 @@ impl Frontier {
 }
 
 /// Ascending iterator over a [`Frontier`].
-pub(crate) struct FrontierIter<'a> {
+pub struct FrontierIter<'a> {
     frontier: &'a Frontier,
     /// Current summary word index.
     sidx: usize,

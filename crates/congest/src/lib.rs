@@ -59,7 +59,7 @@
 //! ```
 
 pub mod algorithms;
-mod frontier;
+pub mod frontier;
 pub mod message;
 pub mod metrics;
 pub mod parallel;
@@ -68,11 +68,12 @@ pub mod rng;
 pub mod simulator;
 pub mod transcript;
 
+pub use frontier::Frontier;
 pub use message::{DecodeError, Message};
 pub use metrics::Metrics;
 pub use parallel::{default_parallelism, execute_indexed, set_default_parallelism, Parallelism};
 pub use protocol::{Inbox, NodeInfo, Outgoing, Protocol};
-pub use simulator::{Simulator, SimulatorError, SimulatorRun};
+pub use simulator::{Simulator, SimulatorError, SimulatorRun, Stepper};
 
 /// Convenient glob import for protocol implementations.
 pub mod prelude {

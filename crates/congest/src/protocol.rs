@@ -381,6 +381,37 @@ pub trait Protocol {
     }
 }
 
+/// A shared reference to a protocol is itself a protocol. Lets owning
+/// drivers (e.g. [`crate::simulator::Stepper`]) and borrowing callers
+/// (`Simulator::run(&proto, ..)`) share one code path.
+impl<P: Protocol + ?Sized> Protocol for &P {
+    type State = P::State;
+    type Msg = P::Msg;
+
+    fn init(&self, node: &NodeInfo) -> Self::State {
+        (**self).init(node)
+    }
+
+    fn round(
+        &self,
+        state: &mut Self::State,
+        node: &NodeInfo,
+        inbox: &Inbox<'_, Self::Msg>,
+    ) -> Outgoing<Self::Msg> {
+        (**self).round(state, node, inbox)
+    }
+
+    fn is_done(&self, state: &Self::State) -> bool {
+        (**self).is_done(state)
+    }
+
+    // Must forward explicitly: the default would collapse to `is_done`
+    // and silently change frontier behavior for overriding protocols.
+    fn is_quiescent(&self, state: &Self::State) -> bool {
+        (**self).is_quiescent(state)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -535,24 +535,16 @@ impl<'g> Simulator<'g> {
         }
     }
 
-    fn run_impl<P: Protocol>(
-        &self,
-        protocol: &P,
-        max_rounds: u64,
-        mut transcript: Option<&mut crate::transcript::Transcript>,
-    ) -> Result<SimulatorRun<P::State>, SimulatorError> {
+    /// Creates an incremental round driver over `protocol`: the caller
+    /// owns the loop and advances one synchronous round per
+    /// [`Stepper::step`]. [`run`](Self::run) is exactly this followed by
+    /// stepping until [`Stepper::is_done`]; external drivers use the
+    /// same engine when they need to observe per-round state (e.g. the
+    /// per-round joiner sets in the backend-equivalence suite).
+    pub fn stepper<P: Protocol>(&self, protocol: P) -> Stepper<'g, P> {
         let g = self.graph;
         let n = g.n();
-        let rec = &self.recorder;
-        let obs = rec.enabled();
-        let timing = rec.timing();
-        let mut msg_bits_hist = Histogram::new();
-        let mut metrics = Metrics {
-            budget_bits: self.budget_bits.map(|b| b as u64),
-            ..Metrics::default()
-        };
-
-        let mut states: Vec<P::State> = (0..n)
+        let states: Vec<P::State> = (0..n)
             .map(|v| {
                 let info = NodeInfo {
                     id: v,
@@ -564,8 +556,6 @@ impl<'g> Simulator<'g> {
                 protocol.init(&info)
             })
             .collect();
-
-        let mut halted = vec![false; n];
         // Frontier bookkeeping (DESIGN.md §10): `done` caches `is_done`
         // per node (state only changes inside `round`, so the cache is
         // exact), `pending` counts nodes that are neither done nor halted
@@ -576,7 +566,6 @@ impl<'g> Simulator<'g> {
         let mut done = vec![false; n];
         let mut pending = 0usize;
         let mut cur_frontier = Frontier::new(n);
-        let mut next_frontier = Frontier::new(n);
         for v in 0..n {
             done[v] = protocol.is_done(&states[v]);
             if !done[v] {
@@ -586,143 +575,291 @@ impl<'g> Simulator<'g> {
                 cur_frontier.insert(v);
             }
         }
-        // Double-buffered message plane: `cur` is read this round, `next`
-        // is filled for the next one; both keep their allocations across
-        // rounds (steady-state rounds allocate nothing).
-        let mut cur: Plane<P::Msg> = Plane::new(n);
-        let mut next: Plane<P::Msg> = Plane::new(n);
-
-        for round in 0..max_rounds {
-            if pending == 0 {
-                metrics.rounds = round;
-                flush_run_obs(rec, &metrics, &msg_bits_hist);
-                return Ok(SimulatorRun { states, metrics });
-            }
-            let (round_msgs0, round_bits0) = (metrics.messages, metrics.bits);
-            let round_t0 = timing.then(Instant::now);
-            for v in cur_frontier.iter() {
-                let nbrs = g.neighbors(v);
-                let info = NodeInfo {
-                    id: v,
-                    n,
-                    neighbors: nbrs,
-                    round,
-                    seed: self.seed,
-                };
-                let inbox = cur.inbox(v, nbrs);
-                let out = protocol.round(&mut states[v], &info, &inbox);
-                let was_pending = !done[v];
-                match out {
-                    Outgoing::Silent => {}
-                    Outgoing::Halt => {
-                        halted[v] = true;
-                        // An earlier sender may have woken it this round.
-                        next_frontier.remove(v);
-                    }
-                    Outgoing::Broadcast(msg) => {
-                        if !nbrs.is_empty() {
-                            let bits = msg.bit_size();
-                            // Every copy has the same size: one budget
-                            // check for the whole neighborhood, reporting
-                            // the first neighbor (= the edge the per-edge
-                            // loop would have failed on).
-                            self.check_bits(v, nbrs[0], bits)?;
-                            metrics.record_broadcast(bits, nbrs.len());
-                            if obs {
-                                msg_bits_hist.observe_n(bits as u64, nbrs.len() as u64);
-                            }
-                            if let Some(t) = transcript.as_deref_mut() {
-                                for &u in nbrs {
-                                    t.record(round, v, u, bits);
-                                }
-                            }
-                            // The payload is stored once and the sender's
-                            // slot points at it; receivers find it by
-                            // scanning their neighbor lists — no per-edge
-                            // delivery work at all. The wake loop below is
-                            // the only per-edge cost, within the
-                            // "messages delivered" budget.
-                            for &u in nbrs {
-                                if !halted[u] {
-                                    next_frontier.insert(u);
-                                }
-                            }
-                            next.push_broadcast(v, msg);
-                        }
-                    }
-                    Outgoing::Unicast(list) => {
-                        for (u, msg) in list {
-                            if !g.has_edge(v, u) {
-                                return Err(SimulatorError::NotANeighbor { from: v, to: u });
-                            }
-                            let bits = msg.bit_size();
-                            self.check_bits(v, u, bits)?;
-                            metrics.record_message(bits);
-                            if obs {
-                                msg_bits_hist.observe(bits as u64);
-                            }
-                            if let Some(t) = transcript.as_deref_mut() {
-                                t.record(round, v, u, bits);
-                            }
-                            if !halted[u] {
-                                next_frontier.insert(u);
-                            }
-                            next.push_unicast(v, u, msg);
-                        }
-                    }
-                }
-                if !halted[v] && (self.full_scan || !protocol.is_quiescent(&states[v])) {
-                    next_frontier.insert(v);
-                }
-                done[v] = protocol.is_done(&states[v]);
-                let now_pending = !done[v] && !halted[v];
-                match (was_pending, now_pending) {
-                    (true, false) => pending -= 1,
-                    (false, true) => pending += 1,
-                    _ => {}
-                }
-            }
-            if obs {
-                observe_round(
-                    rec,
-                    metrics.messages - round_msgs0,
-                    metrics.bits - round_bits0,
-                    round_t0,
-                );
-            }
-            std::mem::swap(&mut cur, &mut next);
-            next.clear();
-            std::mem::swap(&mut cur_frontier, &mut next_frontier);
-            next_frontier.clear();
-            // No per-round sort: the ascending frontier iteration above
-            // pushes into every inbox in ascending sender order already.
-            debug_assert!(cur.is_sorted_by_sender(), "inbox delivery out of order");
+        Stepper {
+            graph: g,
+            seed: self.seed,
+            budget_bits: self.budget_bits,
+            full_scan: self.full_scan,
+            recorder: self.recorder.clone(),
+            protocol,
+            states,
+            halted: vec![false; n],
+            done,
+            pending,
+            cur_frontier,
+            next_frontier: Frontier::new(n),
+            // Double-buffered message plane: `cur` is read this round,
+            // `next` is filled for the next one; both keep their
+            // allocations across rounds (steady-state rounds allocate
+            // nothing).
+            cur: Plane::new(n),
+            next: Plane::new(n),
+            metrics: Metrics {
+                budget_bits: self.budget_bits.map(|b| b as u64),
+                ..Metrics::default()
+            },
+            msg_bits_hist: Histogram::new(),
+            round: 0,
         }
+    }
 
-        if pending == 0 {
-            metrics.rounds = max_rounds;
-            flush_run_obs(rec, &metrics, &msg_bits_hist);
-            return Ok(SimulatorRun { states, metrics });
+    fn run_impl<P: Protocol>(
+        &self,
+        protocol: &P,
+        max_rounds: u64,
+        mut transcript: Option<&mut crate::transcript::Transcript>,
+    ) -> Result<SimulatorRun<P::State>, SimulatorError> {
+        let mut st = self.stepper(protocol);
+        for _ in 0..max_rounds {
+            if st.is_done() {
+                return Ok(st.finish());
+            }
+            st.step_traced(transcript.as_deref_mut())?;
+        }
+        if st.is_done() {
+            return Ok(st.finish());
         }
         Err(SimulatorError::RoundLimitExceeded {
             limit: max_rounds,
-            pending,
+            pending: st.pending(),
         })
     }
+}
 
-    fn check_bits(&self, from: NodeId, to: NodeId, bits: usize) -> Result<(), SimulatorError> {
-        if let Some(budget) = self.budget_bits {
-            if bits > budget {
-                return Err(SimulatorError::BandwidthExceeded {
-                    from,
-                    to,
-                    bits,
-                    budget,
-                });
+/// One in-flight serial simulation: per-node states, halt flags,
+/// frontier bookkeeping, and the double-buffered message plane, advanced
+/// one synchronous round per [`step`](Stepper::step).
+///
+/// Obtained from [`Simulator::stepper`]. Semantics are identical to
+/// [`Simulator::run`] — same wake rules, same metrics, same
+/// observability stream — the only difference is who owns the loop.
+pub struct Stepper<'g, P: Protocol> {
+    graph: &'g Graph,
+    seed: u64,
+    budget_bits: Option<usize>,
+    full_scan: bool,
+    recorder: Recorder,
+    protocol: P,
+    states: Vec<P::State>,
+    halted: Vec<bool>,
+    done: Vec<bool>,
+    pending: usize,
+    cur_frontier: Frontier,
+    next_frontier: Frontier,
+    cur: Plane<P::Msg>,
+    next: Plane<P::Msg>,
+    metrics: Metrics,
+    msg_bits_hist: Histogram,
+    round: u64,
+}
+
+impl<P: Protocol> Stepper<'_, P> {
+    /// Whether every node is done or halted — [`Simulator::run`] would
+    /// stop here. Checked *before* a step: a fresh stepper can already be
+    /// done (0-round run).
+    pub fn is_done(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Number of nodes that are neither done nor halted.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Per-node states, indexed by node id.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Metrics accumulated so far. `rounds` stays 0 until
+    /// [`finish`](Self::finish) stamps it.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Executes one synchronous round.
+    ///
+    /// # Errors
+    ///
+    /// [`SimulatorError::BandwidthExceeded`] /
+    /// [`SimulatorError::NotANeighbor`] on protocol misbehaviour; the
+    /// stepper must not be stepped again after an error (matching
+    /// [`Simulator::run`], which aborts the run).
+    pub fn step(&mut self) -> Result<(), SimulatorError> {
+        self.step_traced(None)
+    }
+
+    /// Like [`step`](Self::step), recording per-message transcript
+    /// events.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`step`](Self::step).
+    pub fn step_traced(
+        &mut self,
+        mut transcript: Option<&mut crate::transcript::Transcript>,
+    ) -> Result<(), SimulatorError> {
+        let g = self.graph;
+        let n = g.n();
+        let seed = self.seed;
+        let budget = self.budget_bits;
+        let full_scan = self.full_scan;
+        let obs = self.recorder.enabled();
+        let timing = self.recorder.timing();
+        let round = self.round;
+        let Self {
+            recorder,
+            protocol,
+            states,
+            halted,
+            done,
+            pending,
+            cur_frontier,
+            next_frontier,
+            cur,
+            next,
+            metrics,
+            msg_bits_hist,
+            ..
+        } = self;
+        let (round_msgs0, round_bits0) = (metrics.messages, metrics.bits);
+        let round_t0 = timing.then(Instant::now);
+        for v in cur_frontier.iter() {
+            let nbrs = g.neighbors(v);
+            let info = NodeInfo {
+                id: v,
+                n,
+                neighbors: nbrs,
+                round,
+                seed,
+            };
+            let inbox = cur.inbox(v, nbrs);
+            let out = protocol.round(&mut states[v], &info, &inbox);
+            let was_pending = !done[v];
+            match out {
+                Outgoing::Silent => {}
+                Outgoing::Halt => {
+                    halted[v] = true;
+                    // An earlier sender may have woken it this round.
+                    next_frontier.remove(v);
+                }
+                Outgoing::Broadcast(msg) => {
+                    if !nbrs.is_empty() {
+                        let bits = msg.bit_size();
+                        // Every copy has the same size: one budget
+                        // check for the whole neighborhood, reporting
+                        // the first neighbor (= the edge the per-edge
+                        // loop would have failed on).
+                        check_bits(budget, v, nbrs[0], bits)?;
+                        metrics.record_broadcast(bits, nbrs.len());
+                        if obs {
+                            msg_bits_hist.observe_n(bits as u64, nbrs.len() as u64);
+                        }
+                        if let Some(t) = transcript.as_deref_mut() {
+                            for &u in nbrs {
+                                t.record(round, v, u, bits);
+                            }
+                        }
+                        // The payload is stored once and the sender's
+                        // slot points at it; receivers find it by
+                        // scanning their neighbor lists — no per-edge
+                        // delivery work at all. The wake loop below is
+                        // the only per-edge cost, within the
+                        // "messages delivered" budget.
+                        for &u in nbrs {
+                            if !halted[u] {
+                                next_frontier.insert(u);
+                            }
+                        }
+                        next.push_broadcast(v, msg);
+                    }
+                }
+                Outgoing::Unicast(list) => {
+                    for (u, msg) in list {
+                        if !g.has_edge(v, u) {
+                            return Err(SimulatorError::NotANeighbor { from: v, to: u });
+                        }
+                        let bits = msg.bit_size();
+                        check_bits(budget, v, u, bits)?;
+                        metrics.record_message(bits);
+                        if obs {
+                            msg_bits_hist.observe(bits as u64);
+                        }
+                        if let Some(t) = transcript.as_deref_mut() {
+                            t.record(round, v, u, bits);
+                        }
+                        if !halted[u] {
+                            next_frontier.insert(u);
+                        }
+                        next.push_unicast(v, u, msg);
+                    }
+                }
+            }
+            if !halted[v] && (full_scan || !protocol.is_quiescent(&states[v])) {
+                next_frontier.insert(v);
+            }
+            done[v] = protocol.is_done(&states[v]);
+            let now_pending = !done[v] && !halted[v];
+            match (was_pending, now_pending) {
+                (true, false) => *pending -= 1,
+                (false, true) => *pending += 1,
+                _ => {}
             }
         }
+        if obs {
+            observe_round(
+                recorder,
+                metrics.messages - round_msgs0,
+                metrics.bits - round_bits0,
+                round_t0,
+            );
+        }
+        std::mem::swap(cur, next);
+        next.clear();
+        std::mem::swap(cur_frontier, next_frontier);
+        next_frontier.clear();
+        // No per-round sort: the ascending frontier iteration above
+        // pushes into every inbox in ascending sender order already.
+        debug_assert!(cur.is_sorted_by_sender(), "inbox delivery out of order");
+        self.round += 1;
         Ok(())
     }
+
+    /// Completes the run: stamps `metrics.rounds` and flushes the
+    /// run-level observability counters, exactly like [`Simulator::run`]
+    /// does on termination.
+    pub fn finish(mut self) -> SimulatorRun<P::State> {
+        self.metrics.rounds = self.round;
+        flush_run_obs(&self.recorder, &self.metrics, &self.msg_bits_hist);
+        SimulatorRun {
+            states: self.states,
+            metrics: self.metrics,
+        }
+    }
+}
+
+fn check_bits(
+    budget: Option<usize>,
+    from: NodeId,
+    to: NodeId,
+    bits: usize,
+) -> Result<(), SimulatorError> {
+    if let Some(budget) = budget {
+        if bits > budget {
+            return Err(SimulatorError::BandwidthExceeded {
+                from,
+                to,
+                bits,
+                budget,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// One side of the serial engine's double-buffered message plane.

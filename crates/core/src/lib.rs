@@ -57,4 +57,4 @@ pub use arb_mis::{arb_mis, ArbMisConfig, ArbMisOutcome, PhaseRounds};
 pub use bounded_arb::{bounded_arb_independent_set, BoundedArbConfig, ShatterOutcome};
 pub use params::{ArbParams, ParamMode};
 pub use result::MisRun;
-pub use verify::{check_mis, is_independent, is_maximal, MisError};
+pub use verify::{check_mis, is_independent, is_maximal, is_valid_mis, MisError};

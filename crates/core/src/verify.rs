@@ -83,6 +83,13 @@ pub fn check_mis(g: &Graph, in_set: &[bool]) -> Result<(), MisError> {
     Ok(())
 }
 
+/// `true` iff `in_set` is a maximal independent set of `g` — the
+/// boolean form of [`check_mis`], for property tests and backend
+/// oracles that only need pass/fail.
+pub fn is_valid_mis(g: &Graph, in_set: &[bool]) -> bool {
+    check_mis(g, in_set).is_ok()
+}
+
 /// `true` iff `in_set` is an independent set that is maximal *within the
 /// induced subgraph* of `region` — used to validate per-phase outputs of
 /// the ArbMIS pipeline (a phase must dominate its own region, not the

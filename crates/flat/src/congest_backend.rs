@@ -1,0 +1,122 @@
+//! The reference backend: a thin adapter over the CONGEST simulator.
+
+use crate::{BackendError, FlatAlgo, MisBackend};
+use arbmis_congest::{Simulator, Stepper};
+use arbmis_core::protocols::{BoundedArbProtocol, LubyProtocol, MetivierProtocol, MisNodeState};
+use arbmis_graph::{Graph, NodeId};
+
+/// All three MIS protocols share `MisNodeState`, so the adapter only
+/// needs to dispatch the stepper calls.
+enum Inner<'g> {
+    Luby(Stepper<'g, LubyProtocol>),
+    Metivier(Stepper<'g, MetivierProtocol>),
+    BoundedArb(Stepper<'g, BoundedArbProtocol>),
+}
+
+macro_rules! dispatch {
+    ($inner:expr, $st:ident => $body:expr) => {
+        match $inner {
+            Inner::Luby($st) => $body,
+            Inner::Metivier($st) => $body,
+            Inner::BoundedArb($st) => $body,
+        }
+    };
+}
+
+/// [`MisBackend`] over the real message-passing simulator.
+///
+/// Each [`step_round`](MisBackend::step_round) runs one simulator round
+/// (messages, budget checks, frontier bookkeeping included) and diffs
+/// `in_mis` across node states to report joiners. This is the oracle the
+/// flat engine is verified against.
+pub struct CongestBackend<'g> {
+    g: &'g Graph,
+    seed: u64,
+    algo: FlatAlgo,
+    full_scan: bool,
+    inner: Inner<'g>,
+    mis: Vec<bool>,
+    joiners: Vec<NodeId>,
+}
+
+fn build<'g>(g: &'g Graph, seed: u64, algo: FlatAlgo, full_scan: bool) -> Inner<'g> {
+    let sim = Simulator::new(g, seed).with_full_scan(full_scan);
+    match algo {
+        FlatAlgo::Luby => Inner::Luby(sim.stepper(LubyProtocol)),
+        FlatAlgo::Metivier => Inner::Metivier(sim.stepper(MetivierProtocol)),
+        FlatAlgo::BoundedArb { params, rho_cutoff } => {
+            Inner::BoundedArb(sim.stepper(BoundedArbProtocol { params, rho_cutoff }))
+        }
+    }
+}
+
+impl<'g> CongestBackend<'g> {
+    /// A congest backend for `algo` on `g` under `seed`.
+    pub fn new(g: &'g Graph, seed: u64, algo: FlatAlgo) -> Self {
+        CongestBackend {
+            g,
+            seed,
+            algo,
+            full_scan: false,
+            inner: build(g, seed, algo, false),
+            mis: vec![false; g.n()],
+            joiners: Vec::new(),
+        }
+    }
+
+    /// Forwards the simulator's full-scan knob (activate every node
+    /// every round instead of frontier-driven scheduling). Both modes
+    /// must produce identical executions; the equivalence suite checks
+    /// the backend against each.
+    #[must_use]
+    pub fn with_full_scan(mut self, full_scan: bool) -> Self {
+        self.full_scan = full_scan;
+        self.inner = build(self.g, self.seed, self.algo, full_scan);
+        self
+    }
+
+    /// The per-node protocol states (for oracle tests that compare
+    /// `active` / `bad` flags beyond the MIS mask).
+    pub fn states(&self) -> &[MisNodeState] {
+        dispatch!(&self.inner, st => st.states())
+    }
+}
+
+impl MisBackend for CongestBackend<'_> {
+    fn init(&mut self) {
+        self.inner = build(self.g, self.seed, self.algo, self.full_scan);
+        self.mis.iter_mut().for_each(|b| *b = false);
+        self.joiners.clear();
+    }
+
+    fn step_round(&mut self) -> Result<(), BackendError> {
+        self.joiners.clear();
+        let states = dispatch!(&mut self.inner, st => {
+            st.step()?;
+            st.states()
+        });
+        for (v, s) in states.iter().enumerate() {
+            if s.in_mis && !self.mis[v] {
+                self.mis[v] = true;
+                self.joiners.push(v);
+            }
+        }
+        Ok(())
+    }
+
+    fn joiners(&self) -> &[NodeId] {
+        &self.joiners
+    }
+
+    fn is_done(&self) -> bool {
+        dispatch!(&self.inner, st => st.is_done())
+    }
+
+    fn mis(&self) -> &[bool] {
+        &self.mis
+    }
+
+    fn round(&self) -> u64 {
+        dispatch!(&self.inner, st => st.round())
+    }
+}

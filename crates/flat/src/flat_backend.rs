@@ -1,0 +1,458 @@
+//! The flat engine: MIS rounds as frontier sweeps over CSR adjacency.
+
+use crate::{BackendError, FlatAlgo, MisBackend, ScanMode, DENSE_FRACTION};
+use arbmis_congest::{rng, Frontier};
+use arbmis_core::{bounded_arb, luby, metivier, ArbParams};
+use arbmis_graph::{Graph, NodeId};
+use arbmis_obs::Recorder;
+
+/// Shared-memory replay of the CONGEST MIS protocols.
+///
+/// No message objects: a round is one or two sweeps over the active set,
+/// reading neighbor flags straight out of flat arrays. The sweep walks
+/// either the [`Frontier`] bitset (sparse) or `0..n` (dense), chosen per
+/// round from the active-set density — both directions visit nodes in
+/// ascending order, so the execution is identical either way.
+///
+/// Randomness is the counter-pure [`rng`] keyed by
+/// `(seed, node, iteration, tag)`, the same draws the CONGEST protocols
+/// make, which is what makes this backend round-identical to
+/// [`crate::CongestBackend`].
+pub struct FlatBackend<'g> {
+    g: &'g Graph,
+    seed: u64,
+    algo: FlatAlgo,
+    scan: ScanMode,
+    recorder: Recorder,
+    round: u64,
+    /// Nodes that have not yet halted (the simulator's `pending`).
+    unfinished: usize,
+    active: Vec<bool>,
+    in_mis: Vec<bool>,
+    bad: Vec<bool>,
+    /// `active_deg[v]` = number of active neighbors of `v`, maintained
+    /// incrementally: deactivating a node decrements all its neighbors.
+    active_deg: Vec<u32>,
+    frontier: Frontier,
+    active_count: usize,
+    /// Per-iteration priority scratch (Métivier / BoundedArb). Stale for
+    /// inactive nodes — always gate reads on `active`.
+    prio: Vec<u64>,
+    /// Per-iteration mark scratch (Luby). Stale for inactive nodes.
+    marked: Vec<bool>,
+    /// Winners of the current iteration, ascending.
+    wins: Vec<NodeId>,
+    /// Joiners of the last executed round, ascending.
+    joiners: Vec<NodeId>,
+    /// Deactivated but not yet halted: in the simulator these nodes halt
+    /// at their next announce-type round; we retire them there so round
+    /// counts match.
+    retiring: Vec<NodeId>,
+    /// Scratch for bad-exit violators (snapshot before exiling).
+    removals: Vec<NodeId>,
+    obs_flushed: bool,
+}
+
+/// Visits every active node in ascending order, dense or sparse.
+fn sweep(
+    scan: ScanMode,
+    n: usize,
+    frontier: &Frontier,
+    active: &[bool],
+    active_count: usize,
+    mut f: impl FnMut(NodeId),
+) {
+    let dense = match scan {
+        ScanMode::Dense => true,
+        ScanMode::Sparse => false,
+        ScanMode::Auto => active_count * DENSE_FRACTION >= n,
+    };
+    if dense {
+        for (v, &a) in active.iter().enumerate() {
+            if a {
+                f(v);
+            }
+        }
+    } else {
+        for v in frontier.iter() {
+            f(v);
+        }
+    }
+}
+
+impl<'g> FlatBackend<'g> {
+    /// A flat backend for `algo` on `g` under `seed`, ready at round 0.
+    pub fn new(g: &'g Graph, seed: u64, algo: FlatAlgo) -> Self {
+        let n = g.n();
+        let mut b = FlatBackend {
+            g,
+            seed,
+            algo,
+            scan: ScanMode::Auto,
+            recorder: arbmis_obs::global(),
+            round: 0,
+            unfinished: 0,
+            active: vec![false; n],
+            in_mis: vec![false; n],
+            bad: vec![false; n],
+            active_deg: vec![0; n],
+            frontier: Frontier::new(n),
+            active_count: 0,
+            prio: vec![0; n],
+            marked: vec![false; n],
+            wins: Vec::new(),
+            joiners: Vec::new(),
+            retiring: Vec::new(),
+            removals: Vec::new(),
+            obs_flushed: false,
+        };
+        b.reset();
+        b
+    }
+
+    /// Overrides the sweep direction (default [`ScanMode::Auto`]).
+    #[must_use]
+    pub fn with_scan(mut self, scan: ScanMode) -> Self {
+        self.scan = scan;
+        self
+    }
+
+    /// Routes observability through `recorder` instead of the global one.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Residual active mask (nonempty only for BoundedArb, whose output
+    /// is not maximal).
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Bad-set mask (BoundedArb's exiled nodes).
+    pub fn bad(&self) -> &[bool] {
+        &self.bad
+    }
+
+    /// Current number of active nodes (the frontier size).
+    pub fn active_count(&self) -> usize {
+        self.active_count
+    }
+
+    /// Alloc-free rewind to round 0.
+    fn reset(&mut self) {
+        let g = self.g;
+        let n = g.n();
+        self.round = 0;
+        self.unfinished = n;
+        self.active_count = n;
+        self.obs_flushed = false;
+        self.frontier.clear();
+        self.wins.clear();
+        self.joiners.clear();
+        self.retiring.clear();
+        self.removals.clear();
+        for v in 0..n {
+            self.active[v] = true;
+            self.in_mis[v] = false;
+            self.bad[v] = false;
+            self.active_deg[v] = g.degree(v) as u32;
+            self.prio[v] = 0;
+            self.marked[v] = false;
+            self.frontier.insert(v);
+        }
+    }
+
+    /// Removes `v` from the active set: clears the frontier bit,
+    /// decrements every neighbor's active degree, and queues `v` to halt
+    /// at the next announce-type round.
+    fn deactivate(&mut self, v: NodeId) {
+        debug_assert!(self.active[v]);
+        self.active[v] = false;
+        self.frontier.remove(v);
+        self.active_count -= 1;
+        self.retiring.push(v);
+        let g = self.g;
+        for &u in g.neighbors(v) {
+            self.active_deg[u] -= 1;
+        }
+    }
+
+    /// Announce-type round: nodes deactivated since the previous one
+    /// halt here (the simulator's `process_exits`-then-`Halt`).
+    fn promote_finished(&mut self) {
+        self.unfinished -= self.retiring.len();
+        self.retiring.clear();
+    }
+
+    /// Métivier decide: `(priority, id)`-maximal among active neighbors.
+    fn decide_metivier(&mut self, iter: u64) {
+        let g = self.g;
+        let n = g.n();
+        let seed = self.seed;
+        let scan = self.scan;
+        let count = self.active_count;
+        self.wins.clear();
+        let Self {
+            frontier,
+            active,
+            prio,
+            wins,
+            ..
+        } = self;
+        sweep(scan, n, frontier, active, count, |v| {
+            prio[v] = rng::draw_priority(seed, v, iter, metivier::TAG_PRIORITY, n);
+        });
+        let (active, prio) = (&active[..], &prio[..]);
+        sweep(scan, n, frontier, active, count, |v| {
+            let pv = (prio[v], v);
+            if g.neighbors(v)
+                .iter()
+                .all(|&u| !active[u] || pv > (prio[u], u))
+            {
+                wins.push(v);
+            }
+        });
+    }
+
+    /// Luby decide: marked with `P = 1/2d`, `(degree, id)`-maximal among
+    /// marked active neighbors; degree-0 nodes join outright.
+    fn decide_luby(&mut self, iter: u64) {
+        let g = self.g;
+        let n = g.n();
+        let seed = self.seed;
+        let scan = self.scan;
+        let count = self.active_count;
+        self.wins.clear();
+        let Self {
+            frontier,
+            active,
+            active_deg,
+            marked,
+            wins,
+            ..
+        } = self;
+        sweep(scan, n, frontier, active, count, |v| {
+            let d = active_deg[v] as usize;
+            marked[v] = d > 0 && luby::is_marked(seed, v, iter, d);
+        });
+        let (active, active_deg, marked) = (&active[..], &active_deg[..], &marked[..]);
+        sweep(scan, n, frontier, active, count, |v| {
+            let d = active_deg[v];
+            let win = if d == 0 {
+                true
+            } else if marked[v] {
+                let key = (u64::from(d), v);
+                g.neighbors(v)
+                    .iter()
+                    .all(|&u| !active[u] || !marked[u] || (u64::from(active_deg[u]), u) < key)
+            } else {
+                false
+            };
+            if win {
+                wins.push(v);
+            }
+        });
+    }
+
+    /// BoundedArb decide: Métivier with priority 0 (opt-out) above the
+    /// ρ_k cutoff; priority-0 nodes never win.
+    fn decide_arb(&mut self, params: &ArbParams, rho_cutoff: bool, scale: u32, iter: u64) {
+        let g = self.g;
+        let n = g.n();
+        let seed = self.seed;
+        let scan = self.scan;
+        let count = self.active_count;
+        let rho = params.rho(scale);
+        self.wins.clear();
+        let Self {
+            frontier,
+            active,
+            active_deg,
+            prio,
+            wins,
+            ..
+        } = self;
+        let deg = &active_deg[..];
+        sweep(scan, n, frontier, active, count, |v| {
+            let competitive = !rho_cutoff || f64::from(deg[v]) <= rho;
+            prio[v] = if competitive {
+                rng::draw_priority(seed, v, iter, bounded_arb::TAG_PRIORITY, n)
+            } else {
+                0
+            };
+        });
+        let (active, prio) = (&active[..], &prio[..]);
+        sweep(scan, n, frontier, active, count, |v| {
+            let p = prio[v];
+            if p == 0 {
+                return;
+            }
+            let pv = (p, v);
+            if g.neighbors(v)
+                .iter()
+                .all(|&u| !active[u] || pv > (prio[u], u))
+            {
+                wins.push(v);
+            }
+        });
+    }
+
+    /// Exit round: winners join the MIS; winners and their dominated
+    /// active neighbors leave the active set.
+    fn exit_step(&mut self) {
+        let g = self.g;
+        let mut wins = std::mem::take(&mut self.wins);
+        for &w in &wins {
+            self.in_mis[w] = true;
+            self.deactivate(w);
+            for &u in g.neighbors(w) {
+                if self.active[u] {
+                    self.deactivate(u);
+                }
+            }
+        }
+        // Swap the buffers: `joiners` takes this round's winners, the
+        // old joiner buffer becomes next iteration's `wins` scratch.
+        std::mem::swap(&mut self.joiners, &mut wins);
+        self.wins = wins;
+    }
+
+    /// Scale-end bad exits: a node with too many high-degree active
+    /// neighbors is exiled to the bad set. Violators are collected from
+    /// a consistent snapshot before any of them is removed, matching the
+    /// protocol (every node judges the degrees announced one round
+    /// earlier).
+    fn bad_exits(&mut self, params: &ArbParams, scale: u32) {
+        let g = self.g;
+        let n = g.n();
+        let scan = self.scan;
+        let count = self.active_count;
+        let hd = params.high_degree_threshold(scale);
+        let bad_thr = params.bad_threshold(scale);
+        self.removals.clear();
+        {
+            let Self {
+                frontier,
+                active,
+                active_deg,
+                removals,
+                ..
+            } = self;
+            let (active, deg) = (&active[..], &active_deg[..]);
+            sweep(scan, n, frontier, active, count, |v| {
+                let mut high = 0u64;
+                for &u in g.neighbors(v) {
+                    if active[u] && f64::from(deg[u]) > hd {
+                        high += 1;
+                    }
+                }
+                if high as f64 > bad_thr {
+                    removals.push(v);
+                }
+            });
+        }
+        let mut removals = std::mem::take(&mut self.removals);
+        for &v in &removals {
+            self.bad[v] = true;
+            self.deactivate(v);
+        }
+        removals.clear();
+        self.removals = removals;
+    }
+
+    /// Schedule end: every remaining node (retiring or residual active)
+    /// halts in this single round.
+    fn finish_all(&mut self) {
+        self.unfinished = 0;
+        self.retiring.clear();
+    }
+
+    /// One Luby/Métivier round on the 3-sub-round iteration timeline.
+    fn step_fast3(&mut self) {
+        match self.round % 3 {
+            0 => self.promote_finished(),
+            1 => {
+                let iter = self.round / 3;
+                match self.algo {
+                    FlatAlgo::Luby => self.decide_luby(iter),
+                    _ => self.decide_metivier(iter),
+                }
+            }
+            _ => self.exit_step(),
+        }
+    }
+
+    /// One BoundedArb round on the oblivious `Θ × (3Λ + 2)` schedule.
+    fn step_arb(&mut self, params: ArbParams, rho_cutoff: bool) {
+        let rps = 3 * params.lambda + bounded_arb::ROUNDS_PER_SCALE_END;
+        let total = u64::from(params.theta) * rps;
+        let r = self.round;
+        if r >= total {
+            self.finish_all();
+            return;
+        }
+        let scale = (r / rps) as u32 + 1;
+        let within = r % rps;
+        let lam3 = 3 * params.lambda;
+        if within < lam3 {
+            match within % 3 {
+                0 => self.promote_finished(),
+                1 => {
+                    let iter = u64::from(scale - 1) * params.lambda + within / 3;
+                    self.decide_arb(&params, rho_cutoff, scale, iter);
+                }
+                _ => self.exit_step(),
+            }
+        } else if within == lam3 {
+            self.promote_finished();
+        } else {
+            self.bad_exits(&params, scale);
+        }
+    }
+}
+
+impl MisBackend for FlatBackend<'_> {
+    fn init(&mut self) {
+        self.reset();
+    }
+
+    fn step_round(&mut self) -> Result<(), BackendError> {
+        debug_assert!(!self.is_done(), "step_round called after completion");
+        if self.recorder.enabled() {
+            self.recorder
+                .observe("flat_round_frontier", self.active_count as u64);
+        }
+        self.joiners.clear();
+        match self.algo {
+            FlatAlgo::Luby | FlatAlgo::Metivier => self.step_fast3(),
+            FlatAlgo::BoundedArb { params, rho_cutoff } => self.step_arb(params, rho_cutoff),
+        }
+        self.round += 1;
+        if self.unfinished == 0 && !self.obs_flushed {
+            self.obs_flushed = true;
+            if self.recorder.enabled() {
+                self.recorder.add("flat_runs", 1);
+                self.recorder.add("flat_rounds", self.round);
+            }
+        }
+        Ok(())
+    }
+
+    fn joiners(&self) -> &[NodeId] {
+        &self.joiners
+    }
+
+    fn is_done(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    fn mis(&self) -> &[bool] {
+        &self.in_mis
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+}

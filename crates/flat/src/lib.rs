@@ -1,0 +1,367 @@
+#![warn(missing_docs)]
+//! Flat shared-memory MIS backends behind a common [`MisBackend`] trait.
+//!
+//! The CONGEST simulator ([`arbmis_congest::Simulator`]) is the semantic
+//! reference: it charges every message against the bandwidth budget and
+//! counts rounds exactly. But for large-scale experiments its message
+//! plane is pure overhead — the MIS protocols in this repository are
+//! *oblivious* (what a node sends in round `r` is a pure function of its
+//! state), so the same execution can be replayed as direct frontier
+//! sweeps over the CSR adjacency with no message objects at all.
+//!
+//! This crate provides two interchangeable executions of that idea:
+//!
+//! * [`CongestBackend`] — a thin adapter over the simulator's
+//!   [`arbmis_congest::Stepper`], stepping one CONGEST round at a time
+//!   and diffing node states to report joiners.
+//! * [`FlatBackend`] — the flat engine: per-node `active` / `in_mis` /
+//!   `bad` flags, incrementally-maintained active degrees, and a
+//!   two-level bitset frontier ([`arbmis_congest::Frontier`]) swept
+//!   either sparsely (frontier iteration) or densely (linear scan),
+//!   switching on frontier density.
+//!
+//! Both backends draw coin flips from the same counter-pure RNG
+//! ([`arbmis_congest::rng`]), keyed by `(seed, node, iteration, tag)`, so
+//! for a fixed graph and seed they are **round-identical**: the joiner
+//! set at every round index, the final MIS, and the total round count all
+//! agree bit-for-bit. `tests/backend_equivalence.rs` enforces this as a
+//! differential oracle.
+//!
+//! # Round timeline
+//!
+//! A backend round is exactly one CONGEST round. Luby and Métivier spend
+//! three rounds per iteration (announce, decide, exit); joiners are
+//! reported at rounds `r ≡ 2 (mod 3)`. BoundedArb follows the oblivious
+//! schedule of [`arbmis_core::protocols::BoundedArbProtocol`]:
+//! `3Λ + 2` rounds per scale (Λ iterations, then a degree exchange and a
+//! bad-exit round), `Θ` scales total.
+
+mod congest_backend;
+mod flat_backend;
+
+pub use congest_backend::CongestBackend;
+pub use flat_backend::FlatBackend;
+
+use arbmis_congest::SimulatorError;
+use arbmis_core::ArbParams;
+use arbmis_graph::NodeId;
+use std::fmt;
+
+/// Which MIS algorithm a backend executes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FlatAlgo {
+    /// Luby's Algorithm B: mark with probability `1/2d`, higher
+    /// `(degree, id)` wins among marked neighbors.
+    Luby,
+    /// Métivier et al. priority competition: higher `(priority, id)` wins.
+    Metivier,
+    /// `BoundedArbIndependentSet` (Algorithm 1): Θ scales of Λ Métivier
+    /// iterations with the ρ_k opt-out, plus per-scale bad exits.
+    BoundedArb {
+        /// The instantiated parameter schedule.
+        params: ArbParams,
+        /// Whether the ρ_k competitiveness cutoff is active.
+        rho_cutoff: bool,
+    },
+}
+
+impl FlatAlgo {
+    /// Short stable name for logs and cache keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlatAlgo::Luby => "luby",
+            FlatAlgo::Metivier => "metivier",
+            FlatAlgo::BoundedArb { .. } => "bounded_arb",
+        }
+    }
+}
+
+/// How [`FlatBackend`] walks the active set each sub-round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Sparse (frontier iteration) while the active set is small, dense
+    /// (linear scan over all nodes) once it crosses [`DENSE_FRACTION`].
+    #[default]
+    Auto,
+    /// Always iterate the frontier bitset.
+    Sparse,
+    /// Always scan `0..n` and filter on the `active` flag.
+    Dense,
+}
+
+/// `Auto` sweeps go dense when `active_count ≥ n / DENSE_FRACTION`.
+pub const DENSE_FRACTION: usize = 8;
+
+/// Why a backend run failed.
+#[derive(Debug)]
+pub enum BackendError {
+    /// The underlying CONGEST simulator rejected the execution (budget
+    /// violation etc.). Only [`CongestBackend`] produces this.
+    Congest(SimulatorError),
+    /// `run` exceeded its round limit before every node finished.
+    RoundLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Congest(e) => write!(f, "congest backend: {e}"),
+            BackendError::RoundLimitExceeded { limit } => {
+                write!(f, "backend exceeded round limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackendError::Congest(e) => Some(e),
+            BackendError::RoundLimitExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<SimulatorError> for BackendError {
+    fn from(e: SimulatorError) -> Self {
+        BackendError::Congest(e)
+    }
+}
+
+/// Summary of a completed [`MisBackend::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackendRun {
+    /// CONGEST rounds executed (identical across backends for the same
+    /// graph, seed, and algorithm).
+    pub rounds: u64,
+}
+
+/// A round-steppable MIS execution.
+///
+/// The contract that makes backends interchangeable:
+///
+/// * [`round`](MisBackend::round) counts CONGEST rounds; one
+///   [`step_round`](MisBackend::step_round) call executes exactly one.
+/// * [`joiners`](MisBackend::joiners) is the ascending list of nodes
+///   that entered the MIS during the *last executed* round — empty on
+///   rounds where the protocol does not admit joiners.
+/// * [`is_done`](MisBackend::is_done) mirrors the simulator's
+///   termination test (`pending == 0`): true once every node has
+///   halted, so total round counts agree across backends.
+/// * [`init`](MisBackend::init) rewinds to round 0, reusing internal
+///   buffers (no steady-state allocation on re-runs).
+pub trait MisBackend {
+    /// Resets to round 0 on the same graph/seed/algorithm.
+    fn init(&mut self);
+
+    /// Executes one CONGEST round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures for the CONGEST-backed adapter;
+    /// the flat engine never fails.
+    fn step_round(&mut self) -> Result<(), BackendError>;
+
+    /// Nodes that joined the MIS in the last executed round, ascending.
+    fn joiners(&self) -> &[NodeId];
+
+    /// True once every node has terminated.
+    fn is_done(&self) -> bool;
+
+    /// Current MIS membership mask (length `n`).
+    fn mis(&self) -> &[bool];
+
+    /// CONGEST rounds executed so far.
+    fn round(&self) -> u64;
+
+    /// Runs from a fresh [`init`](MisBackend::init) to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::RoundLimitExceeded`] if the execution is
+    /// still pending after `max_rounds`, or any error from
+    /// [`step_round`](MisBackend::step_round).
+    fn run(&mut self, max_rounds: u64) -> Result<BackendRun, BackendError> {
+        self.init();
+        while !self.is_done() {
+            if self.round() >= max_rounds {
+                return Err(BackendError::RoundLimitExceeded { limit: max_rounds });
+            }
+            self.step_round()?;
+        }
+        Ok(BackendRun {
+            rounds: self.round(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbmis_core::{luby, metivier, ArbParams, ParamMode};
+    use arbmis_graph::{gen, Graph};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    const MAX_ROUNDS: u64 = 100_000;
+
+    fn graphs() -> Vec<(&'static str, Graph)> {
+        let mut rng = StdRng::seed_from_u64(7);
+        vec![
+            ("empty", Graph::empty(0)),
+            ("isolated", Graph::empty(1)),
+            ("path", gen::path(17)),
+            ("complete", gen::complete(9)),
+            ("gnp", gen::gnp(120, 0.05, &mut rng)),
+            ("ktree", gen::random_ktree(90, 3, &mut rng)),
+        ]
+    }
+
+    /// Steps `a` and `b` in lockstep, asserting identical joiners each
+    /// round, then identical final MIS and round counts.
+    fn assert_lockstep(label: &str, a: &mut dyn MisBackend, b: &mut dyn MisBackend) {
+        a.init();
+        b.init();
+        while !a.is_done() || !b.is_done() {
+            assert_eq!(
+                a.is_done(),
+                b.is_done(),
+                "{label}: done flags diverge at round {}",
+                a.round()
+            );
+            assert!(a.round() < MAX_ROUNDS, "{label}: round limit");
+            a.step_round().unwrap();
+            b.step_round().unwrap();
+            assert_eq!(
+                a.joiners(),
+                b.joiners(),
+                "{label}: joiners diverge at round {}",
+                a.round() - 1
+            );
+        }
+        assert_eq!(a.round(), b.round(), "{label}: round counts diverge");
+        assert_eq!(a.mis(), b.mis(), "{label}: final MIS diverges");
+    }
+
+    #[test]
+    fn flat_matches_congest_luby_and_metivier() {
+        for (name, g) in &graphs() {
+            for algo in [FlatAlgo::Luby, FlatAlgo::Metivier] {
+                for seed in [1, 42] {
+                    let mut flat = FlatBackend::new(g, seed, algo);
+                    let mut congest = CongestBackend::new(g, seed, algo);
+                    let label = format!("{name}/{}/seed{seed}", algo.label());
+                    assert_lockstep(&label, &mut flat, &mut congest);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_matches_congest_bounded_arb() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = gen::random_ktree(80, 3, &mut rng);
+        let delta = g.degree_histogram().len().saturating_sub(1);
+        let params = ArbParams::new(3, delta, ParamMode::default());
+        for rho_cutoff in [true, false] {
+            let algo = FlatAlgo::BoundedArb { params, rho_cutoff };
+            let mut flat = FlatBackend::new(&g, 5, algo);
+            let mut congest = CongestBackend::new(&g, 5, algo);
+            assert_lockstep(
+                &format!("ktree/arb/rho={rho_cutoff}"),
+                &mut flat,
+                &mut congest,
+            );
+            // BoundedArb is not maximal: also compare the shattering
+            // outputs (bad and residual active sets) against the
+            // protocol states.
+            for (v, s) in congest.states().iter().enumerate() {
+                assert_eq!(flat.bad()[v], s.bad, "bad set diverges at {v}");
+                assert_eq!(
+                    flat.active()[v],
+                    s.active,
+                    "residual active set diverges at {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_matches_fast_path_rounds_and_mis() {
+        for (name, g) in &graphs() {
+            for seed in [3, 99] {
+                let fast = luby::run(g, seed);
+                let mut flat = FlatBackend::new(g, seed, FlatAlgo::Luby);
+                let run = flat.run(MAX_ROUNDS).unwrap();
+                assert_eq!(flat.mis(), &fast.in_mis[..], "{name}: luby MIS");
+                let expect = if fast.iterations == 0 {
+                    0
+                } else {
+                    3 * fast.iterations + 1
+                };
+                assert_eq!(run.rounds, expect, "{name}: luby rounds");
+
+                let fast = metivier::run(g, seed);
+                let mut flat = FlatBackend::new(g, seed, FlatAlgo::Metivier);
+                let run = flat.run(MAX_ROUNDS).unwrap();
+                assert_eq!(flat.mis(), &fast.in_mis[..], "{name}: metivier MIS");
+                let expect = if fast.iterations == 0 {
+                    0
+                } else {
+                    3 * fast.iterations + 1
+                };
+                assert_eq!(run.rounds, expect, "{name}: metivier rounds");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_modes_agree() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = gen::gnp(150, 0.04, &mut rng);
+        for algo in [FlatAlgo::Luby, FlatAlgo::Metivier] {
+            let mut sparse = FlatBackend::new(&g, 9, algo).with_scan(ScanMode::Sparse);
+            let mut dense = FlatBackend::new(&g, 9, algo).with_scan(ScanMode::Dense);
+            assert_lockstep(&format!("{}/scan", algo.label()), &mut sparse, &mut dense);
+        }
+    }
+
+    #[test]
+    fn rerun_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = gen::gnp(100, 0.06, &mut rng);
+        let mut b = FlatBackend::new(&g, 17, FlatAlgo::Metivier);
+        let r1 = b.run(MAX_ROUNDS).unwrap();
+        let mis1 = b.mis().to_vec();
+        let r2 = b.run(MAX_ROUNDS).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(mis1, b.mis());
+        assert!(arbmis_core::is_valid_mis(&g, b.mis()));
+    }
+
+    #[test]
+    fn round_limit_reported() {
+        let g = gen::path(8);
+        let mut b = FlatBackend::new(&g, 1, FlatAlgo::Metivier);
+        let err = b.run(1).unwrap_err();
+        assert!(matches!(err, BackendError::RoundLimitExceeded { limit: 1 }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn joiners_only_on_exit_rounds() {
+        let g = gen::cycle(12);
+        let mut b = FlatBackend::new(&g, 4, FlatAlgo::Luby);
+        b.init();
+        while !b.is_done() {
+            let r = b.round();
+            b.step_round().unwrap();
+            if r % 3 != 2 {
+                assert!(b.joiners().is_empty(), "joiners at non-exit round {r}");
+            }
+            assert!(b.joiners().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

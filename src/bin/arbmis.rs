@@ -15,6 +15,7 @@
 //! ```
 
 use arbmis::core::{arb_mis, check_mis, ghaffari, greedy, luby, metivier, tree_mis, ArbMisConfig};
+use arbmis::flat::{CongestBackend, FlatAlgo, FlatBackend, MisBackend};
 use arbmis::graph::gen::{GraphFamily, GraphSpec};
 use arbmis::graph::stats::GraphStats;
 use arbmis::graph::{arboricity, io, Graph};
@@ -26,6 +27,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:
   arbmis run   (--input FILE | --family NAME --n N) --algo ALGO [--alpha A] [--seed S] [--obs]
+               [--backend fast|congest|flat]
   arbmis stats (--input FILE | --family NAME --n N) [--seed S]
   arbmis gen   --family NAME --n N --output FILE [--seed S]
 
@@ -34,7 +36,13 @@ families:   tree caterpillar4 forests2 forests3 ktree2 ktree3 apollonian
             sp ba2 ba3 plc3 gnp8 grid geometric cliquering6
 
 --obs attaches the observability recorder and prints a per-phase
-round/time table after the run (results are unchanged; DESIGN.md §8)."
+round/time table after the run (results are unchanged; DESIGN.md §8).
+
+--backend picks the execution engine for luby/metivier: the analytic
+fast path (default), the CONGEST message-passing simulator, or the flat
+shared-memory backend. All three produce the same MIS; the engines
+report one extra round (the final all-halt round the fast path's
+counting convention omits; DESIGN.md §11)."
     );
     ExitCode::from(2)
 }
@@ -170,8 +178,45 @@ fn main() -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             }
+            let backend = flags.get("backend").map(String::as_str).unwrap_or("fast");
+            if !matches!(backend, "fast" | "congest" | "flat") {
+                eprintln!("unknown backend {backend:?} (expected fast, congest, or flat)");
+                return usage();
+            }
+            if backend != "fast" && !matches!(algo, "luby" | "metivier") {
+                eprintln!("--backend {backend} only supports --algo luby or metivier");
+                return ExitCode::FAILURE;
+            }
             let (in_mis, rounds) = match algo {
                 "greedy" => (greedy::greedy_mis(&g), 0),
+                "luby" | "metivier" if backend != "fast" => {
+                    let flat_algo = if algo == "luby" {
+                        FlatAlgo::Luby
+                    } else {
+                        FlatAlgo::Metivier
+                    };
+                    let max_rounds = 100_000;
+                    let run = if backend == "flat" {
+                        let mut b = FlatBackend::new(&g, seed, flat_algo);
+                        match b.run(max_rounds) {
+                            Ok(r) => (b.mis().to_vec(), r.rounds),
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    } else {
+                        let mut b = CongestBackend::new(&g, seed, flat_algo);
+                        match b.run(max_rounds) {
+                            Ok(r) => (b.mis().to_vec(), r.rounds),
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    };
+                    run
+                }
                 "luby" => {
                     let r = luby::run(&g, seed);
                     (r.in_mis, r.rounds)

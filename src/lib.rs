@@ -24,7 +24,7 @@
 //! * **baselines**: Luby's algorithm, the Métivier et al. priority
 //!   algorithm, and Ghaffari's SODA 2016 algorithm.
 //!
-//! This facade crate re-exports the five member crates under stable
+//! This facade crate re-exports the six member crates under stable
 //! names.
 //!
 //! ## Quickstart
@@ -62,6 +62,11 @@ pub use arbmis_readk as readk;
 /// `arbmis-core`).
 pub use arbmis_core as core;
 
+/// Flat shared-memory MIS backends behind the `MisBackend` trait,
+/// round-identical to the CONGEST simulator (re-export of `arbmis-flat`;
+/// see DESIGN.md §11).
+pub use arbmis_flat as flat;
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -72,5 +77,9 @@ mod tests {
         assert!(crate::readk::conjunction_bound(0.5, 4, 2) > 0.0);
         let _sim = crate::congest::Simulator::new(&g, 0);
         assert!(!crate::obs::Recorder::disabled().enabled());
+        use crate::flat::{FlatAlgo, FlatBackend, MisBackend};
+        let mut b = FlatBackend::new(&g, 1, FlatAlgo::Metivier);
+        b.run(1_000).unwrap();
+        assert_eq!(b.mis(), &run.in_mis[..]);
     }
 }

@@ -354,6 +354,65 @@ fn frontier_matches_full_scan_converge_cast() {
     }
 }
 
+/// Degenerate graphs n ∈ {0, 1}: the serial engine, the parallel engine
+/// at every thread count, and both `MisBackend` implementations must all
+/// agree — the empty graph terminates in 0 rounds, and a single isolated
+/// node joins at the first exit round and halts at the next announce
+/// round (4 CONGEST rounds for Luby and Métivier).
+#[test]
+fn degenerate_graphs_agree_across_engines_and_backends() {
+    use arbmis::flat::{CongestBackend, FlatAlgo, FlatBackend, MisBackend};
+
+    for n in [0usize, 1] {
+        let g = arbmis::graph::Graph::from_edges(n, &[]);
+        let expect_rounds = if n == 0 { 0 } else { 4 };
+        let expect_mis = vec![true; n];
+        for (label, algo) in [("luby", FlatAlgo::Luby), ("metivier", FlatAlgo::Metivier)] {
+            for seed in [0, 9] {
+                let mut flat = FlatBackend::new(&g, seed, algo);
+                let mut congest = CongestBackend::new(&g, seed, algo);
+                for (tag, b) in [
+                    ("flat", &mut flat as &mut dyn MisBackend),
+                    ("congest", &mut congest),
+                ] {
+                    let run = b.run(100).unwrap();
+                    assert_eq!(run.rounds, expect_rounds, "{label}/{tag} rounds at n={n}");
+                    assert_eq!(b.mis(), &expect_mis[..], "{label}/{tag} MIS at n={n}");
+                    assert!(b.joiners().is_empty() || n == 1, "{label}/{tag} joiners");
+                }
+                let sim = Simulator::new(&g, seed).with_parallelism(Parallelism::Serial);
+                let serial = match algo {
+                    FlatAlgo::Luby => sim.run(&LubyProtocol, 100),
+                    _ => sim.run(&MetivierProtocol, 100),
+                }
+                .unwrap();
+                assert_eq!(
+                    serial.metrics.rounds, expect_rounds,
+                    "{label}: serial rounds at n={n}"
+                );
+                for threads in THREADS {
+                    let sim =
+                        Simulator::new(&g, seed).with_parallelism(Parallelism::Threads(threads));
+                    let par = match algo {
+                        FlatAlgo::Luby => sim.run_parallel(&LubyProtocol, 100),
+                        _ => sim.run_parallel(&MetivierProtocol, 100),
+                    }
+                    .unwrap();
+                    assert_eq!(
+                        par.metrics, serial.metrics,
+                        "{label}: parallel metrics at n={n}, {threads} threads"
+                    );
+                    assert_eq!(
+                        par.states.iter().map(|s| s.in_mis).collect::<Vec<_>>(),
+                        expect_mis,
+                        "{label}: parallel MIS at n={n}, {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// `Parallelism::Auto` (whatever the host core count) agrees with serial
 /// too — the contract holds for the default configuration, not just the
 /// pinned thread counts above.

@@ -25,6 +25,21 @@ fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
     })
 }
 
+/// Strategy: an arbitrary simple graph on 1–64 nodes (single-node
+/// graphs included — the backend contract covers them) for the backend
+/// equivalence properties.
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (1usize..=64).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..3 * n).prop_map(move |pairs| {
+            let mut b = arbmis::graph::GraphBuilder::new(n);
+            for (u, v) in pairs {
+                b.try_add_edge(u, v);
+            }
+            b.build()
+        })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -132,6 +147,64 @@ proptest! {
             .filter(|&(u, v)| mask[u] && mask[v])
             .count();
         prop_assert_eq!(sub.graph().m(), expected);
+    }
+}
+
+// ------------------------------------------------------- backend contract
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DESIGN.md §11 property 1: whatever the backend and scan mode, the
+    /// output is a maximal independent set.
+    #[test]
+    fn every_backend_output_is_a_valid_mis(g in arbitrary_graph(), seed in 0u64..1000) {
+        use arbmis::core::is_valid_mis;
+        use arbmis::flat::{CongestBackend, FlatAlgo, FlatBackend, MisBackend, ScanMode};
+        for algo in [FlatAlgo::Luby, FlatAlgo::Metivier] {
+            for scan in [ScanMode::Auto, ScanMode::Sparse, ScanMode::Dense] {
+                let mut b = FlatBackend::new(&g, seed, algo).with_scan(scan);
+                b.run(100_000).unwrap();
+                prop_assert!(is_valid_mis(&g, b.mis()), "flat {algo:?} {scan:?}");
+            }
+            let mut b = CongestBackend::new(&g, seed, algo);
+            b.run(100_000).unwrap();
+            prop_assert!(is_valid_mis(&g, b.mis()), "congest {algo:?}");
+        }
+    }
+
+    /// DESIGN.md §11 property 2: flat and congest agree on the joiner
+    /// set at every round index, not just the final mask.
+    #[test]
+    fn flat_and_congest_joiners_agree_round_by_round(
+        g in arbitrary_graph(),
+        seed in 0u64..1000,
+    ) {
+        use arbmis::flat::{CongestBackend, FlatAlgo, FlatBackend, MisBackend};
+        for algo in [FlatAlgo::Luby, FlatAlgo::Metivier] {
+            let mut flat = FlatBackend::new(&g, seed, algo);
+            let mut congest = CongestBackend::new(&g, seed, algo);
+            flat.init();
+            congest.init();
+            while !flat.is_done() || !congest.is_done() {
+                prop_assert!(
+                    flat.is_done() == congest.is_done(),
+                    "done flags diverge at round {}",
+                    flat.round()
+                );
+                prop_assert!(flat.round() < 100_000);
+                flat.step_round().unwrap();
+                congest.step_round().unwrap();
+                prop_assert!(
+                    flat.joiners() == congest.joiners(),
+                    "{:?} joiners diverge at round {}",
+                    algo,
+                    flat.round() - 1
+                );
+            }
+            prop_assert_eq!(flat.round(), congest.round());
+            prop_assert_eq!(flat.mis(), congest.mis());
+        }
     }
 }
 
