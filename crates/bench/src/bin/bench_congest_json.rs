@@ -20,6 +20,7 @@ use arbmis_congest::{Parallelism, Protocol, Simulator};
 use arbmis_core::params::{ArbParams, ParamMode};
 use arbmis_core::protocols::{BoundedArbProtocol, MetivierProtocol};
 use arbmis_graph::{gen, Graph};
+use arbmis_obs::{FlightRecorder, Recorder};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -37,6 +38,20 @@ struct BenchDoc {
     host_threads: u64,
     threads_parallel: u64,
     workloads: Vec<BenchEntry>,
+    /// Observability-overhead guardrail: serial ns/round on `gnp50k_d4`
+    /// with the deterministic metric recorder *and* a bounded flight
+    /// recorder attached, vs the plain run. Capture must stay cheap
+    /// enough to leave on everywhere (DESIGN.md §8).
+    #[serde(default)]
+    obs_overhead: Option<ObsOverhead>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ObsOverhead {
+    workload: String,
+    plain_ns_per_round: f64,
+    recorded_ns_per_round: f64,
+    overhead_ratio: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -217,6 +232,7 @@ fn main() {
         .map(|p| p.get())
         .unwrap_or(1);
     let mut entries = Vec::new();
+    let mut obs_overhead = None;
     for w in workloads() {
         let g = &w.graph;
         let (serial, parallel, rounds) = match &w.proto {
@@ -226,6 +242,30 @@ fn main() {
             WorkloadProto::BoundedArb(p) => measure(g, p, w.max_rounds, samples, threads),
             WorkloadProto::ConvergeCast(p) => measure(g, p, w.max_rounds, samples, threads),
         };
+        if w.name == "gnp50k_d4" {
+            // Guardrail: the same serial run with full capture attached
+            // (deterministic metric recorder + bounded flight ring).
+            let (recorded, _) = median_ns_per_round(samples, || {
+                let sim = Simulator::new(g, SEED)
+                    .with_parallelism(Parallelism::Serial)
+                    .with_recorder(Recorder::deterministic())
+                    .with_flight(FlightRecorder::bounded(4096));
+                let t0 = Instant::now();
+                let run = sim.run(&MetivierProtocol, w.max_rounds).unwrap();
+                (t0.elapsed().as_nanos() as u64, run.metrics.rounds)
+            });
+            eprintln!(
+                "{}: obs-recorded serial {recorded:.0} ns/round ({:.2}x plain)",
+                w.name,
+                recorded / serial
+            );
+            obs_overhead = Some(ObsOverhead {
+                workload: w.name.to_string(),
+                plain_ns_per_round: serial,
+                recorded_ns_per_round: recorded,
+                overhead_ratio: recorded / serial,
+            });
+        }
         let base = baseline_serial(w.name);
         eprintln!(
             "{}: serial {serial:.0} ns/round, parallel({threads}) {parallel:.0} ns/round{}",
@@ -252,6 +292,7 @@ fn main() {
         host_threads: threads as u64,
         threads_parallel: threads as u64,
         workloads: entries,
+        obs_overhead,
     };
     let text = serde_json::to_string_pretty(&doc).expect("serializing the JSON artifact");
     std::fs::write(&out_path, text + "\n").expect("writing the JSON artifact");

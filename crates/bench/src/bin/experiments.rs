@@ -15,6 +15,9 @@
 //! experiments --no-cache      # recompute everything, touch no disk state
 //! experiments --metrics-out m.prom  # Prometheus text exposition of the run
 //! experiments --trace-out t.jsonl   # JSONL span/event log of the run
+//! experiments --perfetto-out t.json # Chrome trace-event (Perfetto) export
+//! experiments --flight        # bounded per-round flight recorder, dumped
+//!                             # to stderr on panic (--flight-out saves it)
 //! experiments --backend flat  # route Luby/Métivier baselines through a
 //!                             # MisBackend engine (fast|congest|flat);
 //!                             # reports are byte-identical, cache keys
@@ -26,10 +29,11 @@
 //! so `--threads N`, `--no-cache`, and cache temperature never change a
 //! report byte (DESIGN.md §9) — only the stderr status lines.
 //!
-//! `--metrics-out` / `--trace-out` install a process-wide recorder
-//! (`arbmis_obs::set_global`); per DESIGN.md §8 this never changes any
-//! experiment result — the `--json` report is byte-identical with and
-//! without them (CI diffs exactly that).
+//! `--metrics-out` / `--trace-out` / `--perfetto-out` install a
+//! process-wide recorder (`arbmis_obs::set_global`), and `--flight`
+//! installs the process-wide flight ring; per DESIGN.md §8 none of this
+//! ever changes an experiment result — the `--json` report is
+//! byte-identical with and without them (CI diffs exactly that).
 
 use arbmis_bench::backend::MisBackendChoice;
 use arbmis_bench::cache::{set_global_cache, Cache};
@@ -53,6 +57,9 @@ struct Args {
     no_cache: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    perfetto_out: Option<String>,
+    flight: bool,
+    flight_out: Option<String>,
     backend: MisBackendChoice,
 }
 
@@ -68,6 +75,9 @@ fn parse_args() -> Args {
         no_cache: false,
         metrics_out: None,
         trace_out: None,
+        perfetto_out: None,
+        flight: false,
+        flight_out: None,
         backend: MisBackendChoice::Fast,
     };
     let mut it = std::env::args().skip(1);
@@ -93,6 +103,13 @@ fn parse_args() -> Args {
             "--trace-out" => {
                 args.trace_out = Some(it.next().expect("--trace-out needs a path"));
             }
+            "--perfetto-out" => {
+                args.perfetto_out = Some(it.next().expect("--perfetto-out needs a path"));
+            }
+            "--flight" => args.flight = true,
+            "--flight-out" => {
+                args.flight_out = Some(it.next().expect("--flight-out needs a path"));
+            }
             "--backend" => {
                 let v = it.next().expect("--backend needs fast, congest, or flat");
                 args.backend = v.parse().unwrap_or_else(|e| {
@@ -107,7 +124,8 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: experiments [--list] [--quick] [--markdown] [--json PATH] \
                      [--threads N] [--cache-dir PATH] [--no-cache] [--metrics-out PATH] \
-                     [--trace-out PATH] [--backend fast|congest|flat] [--exp E1 E2 ...]"
+                     [--trace-out PATH] [--perfetto-out PATH] [--flight] [--flight-out PATH] \
+                     [--backend fast|congest|flat] [--exp E1 E2 ...]"
                 );
                 std::process::exit(0);
             }
@@ -175,7 +193,8 @@ fn main() {
             }
         }
     }
-    let observing = args.metrics_out.is_some() || args.trace_out.is_some();
+    let observing =
+        args.metrics_out.is_some() || args.trace_out.is_some() || args.perfetto_out.is_some();
     let recorder = if observing {
         // One process-wide recorder feeds the simulator, the ArbMIS
         // pipeline, the Monte-Carlo driver, and the cell scheduler for
@@ -183,6 +202,18 @@ fn main() {
         let rec = arbmis_obs::Recorder::new();
         arbmis_obs::set_global(rec.clone());
         Some(rec)
+    } else {
+        None
+    };
+    // The flight recorder rides along without a metric recorder: its
+    // ring captures the last rounds of every engine in the run, and the
+    // panic hook dumps them if anything trips (DESIGN.md 8).
+    let flight = if args.flight || args.flight_out.is_some() {
+        let f = arbmis_obs::FlightRecorder::bounded(4096);
+        arbmis_obs::set_global_flight(f.clone());
+        arbmis_obs::install_flight_panic_hook();
+        eprintln!("[experiments] flight recorder: last 4096 rounds");
+        Some(f)
     } else {
         None
     };
@@ -243,5 +274,13 @@ fn main() {
             std::fs::write(&path, snap.to_jsonl()).expect("write trace output");
             eprintln!("[experiments] wrote {path}");
         }
+        if let Some(path) = args.perfetto_out {
+            std::fs::write(&path, snap.to_chrome_trace()).expect("write perfetto output");
+            eprintln!("[experiments] wrote {path}");
+        }
+    }
+    if let (Some(f), Some(path)) = (&flight, args.flight_out) {
+        std::fs::write(&path, f.to_jsonl()).expect("write flight output");
+        eprintln!("[experiments] wrote {path}");
     }
 }

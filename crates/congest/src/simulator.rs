@@ -6,7 +6,7 @@ use crate::metrics::Metrics;
 use crate::parallel::{self, Parallelism};
 use crate::protocol::{Inbox, NodeInfo, Outgoing, Protocol};
 use arbmis_graph::{Graph, NodeId};
-use arbmis_obs::{Histogram, Recorder};
+use arbmis_obs::{FlightRecorder, Histogram, Recorder, RoundRecord};
 use parking_lot::{Mutex, RwLock};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -93,6 +93,7 @@ pub struct Simulator<'g> {
     budget_bits: Option<usize>,
     parallelism: Parallelism,
     recorder: Recorder,
+    flight: FlightRecorder,
     full_scan: bool,
 }
 
@@ -111,6 +112,7 @@ impl<'g> Simulator<'g> {
             budget_bits: Some(16 * logn.max(1)),
             parallelism: parallel::default_parallelism(),
             recorder: arbmis_obs::global(),
+            flight: arbmis_obs::global_flight(),
             full_scan: false,
         }
     }
@@ -137,6 +139,22 @@ impl<'g> Simulator<'g> {
     /// The attached recorder.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Attaches a per-round [`FlightRecorder`]. The default is the
+    /// process-wide one ([`arbmis_obs::global_flight`]), disabled unless
+    /// a binary installed it. Like the metric recorder, flight capture
+    /// never changes results, and the recorded bytes are identical
+    /// across the serial and parallel engines at every thread count
+    /// (DESIGN.md §8).
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Self {
+        self.flight = flight;
+        self
+    }
+
+    /// The attached flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Sets the thread-count policy used by
@@ -268,6 +286,7 @@ impl<'g> Simulator<'g> {
         let chunk_count = bounds.len();
         let workers = threads.min(chunk_count);
         let rec = &self.recorder;
+        let flight = &self.flight;
         let obs = rec.enabled();
         let timing = rec.timing();
         let mut msg_bits_hist = Histogram::new();
@@ -447,6 +466,7 @@ impl<'g> Simulator<'g> {
                     Some(Outcome::Fail(e))
                 } else {
                     let mut all_done = true;
+                    let mut stepped: u64 = 0;
                     let (round_msgs0, round_bits0) = (metrics.messages, metrics.bits);
                     for out_lock in &outs {
                         let mut out = out_lock.write();
@@ -458,6 +478,7 @@ impl<'g> Simulator<'g> {
                             budget_bits: None,
                         });
                         all_done &= out.all_done;
+                        stepped += out.stepped;
                         if obs {
                             msg_bits_hist.merge(&out.bits_hist);
                         }
@@ -471,10 +492,29 @@ impl<'g> Simulator<'g> {
                     if obs {
                         observe_round(
                             rec,
+                            stepped,
                             metrics.messages - round_msgs0,
                             metrics.bits - round_bits0,
                             round_t0,
                         );
+                    }
+                    if flight.enabled() {
+                        // Chunk-order sums reproduce the serial engine's
+                        // per-round quantities exactly, so this record
+                        // is byte-identical to the serial one at every
+                        // thread count.
+                        flight.record(RoundRecord {
+                            engine: "congest",
+                            round,
+                            frontier: stepped,
+                            joiners: 0,
+                            joiner_digest: 0,
+                            coin_digest: 0,
+                            messages: metrics.messages - round_msgs0,
+                            bits: metrics.bits - round_bits0,
+                            scan: if full_scan { "full" } else { "frontier" },
+                            span_seq: rec.seq(),
+                        });
                     }
                     if all_done {
                         metrics.rounds = round + 1;
@@ -581,6 +621,7 @@ impl<'g> Simulator<'g> {
             budget_bits: self.budget_bits,
             full_scan: self.full_scan,
             recorder: self.recorder.clone(),
+            flight: self.flight.clone(),
             protocol,
             states,
             halted: vec![false; n],
@@ -639,6 +680,7 @@ pub struct Stepper<'g, P: Protocol> {
     budget_bits: Option<usize>,
     full_scan: bool,
     recorder: Recorder,
+    flight: FlightRecorder,
     protocol: P,
     states: Vec<P::State>,
     halted: Vec<bool>,
@@ -714,6 +756,7 @@ impl<P: Protocol> Stepper<'_, P> {
         let round = self.round;
         let Self {
             recorder,
+            flight,
             protocol,
             states,
             halted,
@@ -729,7 +772,12 @@ impl<P: Protocol> Stepper<'_, P> {
         } = self;
         let (round_msgs0, round_bits0) = (metrics.messages, metrics.bits);
         let round_t0 = timing.then(Instant::now);
+        // Nodes stepped this round (= the frontier size; the [`Frontier`]
+        // keeps no count, so tally during iteration). Deterministic
+        // class: identical across engines and thread counts.
+        let mut stepped: u64 = 0;
         for v in cur_frontier.iter() {
+            stepped += 1;
             let nbrs = g.neighbors(v);
             let info = NodeInfo {
                 id: v,
@@ -814,10 +862,25 @@ impl<P: Protocol> Stepper<'_, P> {
         if obs {
             observe_round(
                 recorder,
+                stepped,
                 metrics.messages - round_msgs0,
                 metrics.bits - round_bits0,
                 round_t0,
             );
+        }
+        if flight.enabled() {
+            flight.record(RoundRecord {
+                engine: "congest",
+                round,
+                frontier: stepped,
+                joiners: 0,
+                joiner_digest: 0,
+                coin_digest: 0,
+                messages: metrics.messages - round_msgs0,
+                bits: metrics.bits - round_bits0,
+                scan: if full_scan { "full" } else { "frontier" },
+                span_seq: recorder.seq(),
+            });
         }
         std::mem::swap(cur, next);
         next.clear();
@@ -1009,6 +1072,10 @@ struct ChunkOut<M> {
     messages: u64,
     bits: u64,
     max_bits: usize,
+    /// Nodes stepped (frontier members) this round; the coordinator's
+    /// chunk-order sum equals the serial engine's per-round frontier
+    /// size exactly.
+    stepped: u64,
     /// Per-message bit sizes, log₂-bucketed; filled only when a recorder
     /// is attached, merged (in chunk order) by the coordinator.
     bits_hist: Histogram,
@@ -1028,6 +1095,7 @@ impl<M> ChunkOut<M> {
             messages: 0,
             bits: 0,
             max_bits: 0,
+            stepped: 0,
             bits_hist: Histogram::new(),
             all_done: false,
             error: None,
@@ -1048,6 +1116,7 @@ impl<M> ChunkOut<M> {
         self.messages = 0;
         self.bits = 0;
         self.max_bits = 0;
+        self.stepped = 0;
         self.bits_hist.clear();
         self.all_done = false;
         self.error = None;
@@ -1068,9 +1137,11 @@ fn flush_run_obs(rec: &Recorder, metrics: &Metrics, msg_bits: &Histogram) {
     rec.merge_histogram("congest_message_bits", msg_bits);
 }
 
-/// Per-round observations shared by both engines. `t0` is `Some` only
-/// when wall-clock timing is on (timing class, name `*_ns`).
-fn observe_round(rec: &Recorder, msgs: u64, bits: u64, t0: Option<Instant>) {
+/// Per-round observations shared by both engines. `frontier` is the
+/// number of nodes stepped this round; `t0` is `Some` only when
+/// wall-clock timing is on (timing class, name `*_ns`).
+fn observe_round(rec: &Recorder, frontier: u64, msgs: u64, bits: u64, t0: Option<Instant>) {
+    rec.observe("congest_round_frontier", frontier);
     rec.observe("congest_round_messages", msgs);
     rec.observe("congest_round_bits", bits);
     if let Some(t0) = t0 {
@@ -1118,6 +1189,7 @@ fn process_chunk<P: Protocol>(
     };
     // Halted nodes are never frontier members, so no halt check here.
     for off in cur_frontier.iter() {
+        out.stepped += 1;
         let state = &mut states[off];
         let v = lo + off;
         let info = NodeInfo {

@@ -1,10 +1,11 @@
 //! The flat engine: MIS rounds as frontier sweeps over CSR adjacency.
 
+use crate::divergence::{self, CoinFlip};
 use crate::{BackendError, FlatAlgo, MisBackend, ScanMode, DENSE_FRACTION};
 use arbmis_congest::{rng, Frontier};
 use arbmis_core::{bounded_arb, luby, metivier, ArbParams};
 use arbmis_graph::{Graph, NodeId};
-use arbmis_obs::Recorder;
+use arbmis_obs::{FlightRecorder, Recorder, RoundRecord};
 
 /// Shared-memory replay of the CONGEST MIS protocols.
 ///
@@ -24,6 +25,13 @@ pub struct FlatBackend<'g> {
     algo: FlatAlgo,
     scan: ScanMode,
     recorder: Recorder,
+    flight: FlightRecorder,
+    /// Injected single-coin perturbation (divergence drills); `None` in
+    /// normal operation.
+    coin_flip: Option<CoinFlip>,
+    /// Effective sweep density of the previous round, for the
+    /// `flat_scan_mode_flips` counter. Observation-only.
+    last_dense: Option<bool>,
     round: u64,
     /// Nodes that have not yet halted (the simulator's `pending`).
     unfinished: usize,
@@ -90,6 +98,9 @@ impl<'g> FlatBackend<'g> {
             algo,
             scan: ScanMode::Auto,
             recorder: arbmis_obs::global(),
+            flight: arbmis_obs::global_flight(),
+            coin_flip: None,
+            last_dense: None,
             round: 0,
             unfinished: 0,
             active: vec![false; n],
@@ -124,6 +135,27 @@ impl<'g> FlatBackend<'g> {
         self
     }
 
+    /// Routes per-round flight records through `flight` instead of the
+    /// global ring.
+    #[must_use]
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Self {
+        self.flight = flight;
+        self
+    }
+
+    /// The flight recorder this backend writes to.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Injects a single-coin perturbation (see [`CoinFlip`]). For
+    /// divergence-tooling tests; pristine runs leave this unset.
+    #[must_use]
+    pub fn with_coin_flip(mut self, flip: CoinFlip) -> Self {
+        self.coin_flip = Some(flip);
+        self
+    }
+
     /// Residual active mask (nonempty only for BoundedArb, whose output
     /// is not maximal).
     pub fn active(&self) -> &[bool] {
@@ -148,6 +180,7 @@ impl<'g> FlatBackend<'g> {
         self.unfinished = n;
         self.active_count = n;
         self.obs_flushed = false;
+        self.last_dense = None;
         self.frontier.clear();
         self.wins.clear();
         self.joiners.clear();
@@ -193,6 +226,7 @@ impl<'g> FlatBackend<'g> {
         let seed = self.seed;
         let scan = self.scan;
         let count = self.active_count;
+        let flip = self.coin_flip;
         self.wins.clear();
         let Self {
             frontier,
@@ -204,6 +238,11 @@ impl<'g> FlatBackend<'g> {
         sweep(scan, n, frontier, active, count, |v| {
             prio[v] = rng::draw_priority(seed, v, iter, metivier::TAG_PRIORITY, n);
         });
+        if let Some(f) = flip {
+            if f.iteration == iter && f.node < n && active[f.node] {
+                prio[f.node] = (prio[f.node] ^ f.xor) | 1;
+            }
+        }
         let (active, prio) = (&active[..], &prio[..]);
         sweep(scan, n, frontier, active, count, |v| {
             let pv = (prio[v], v);
@@ -224,6 +263,7 @@ impl<'g> FlatBackend<'g> {
         let seed = self.seed;
         let scan = self.scan;
         let count = self.active_count;
+        let flip = self.coin_flip;
         self.wins.clear();
         let Self {
             frontier,
@@ -237,6 +277,14 @@ impl<'g> FlatBackend<'g> {
             let d = active_deg[v] as usize;
             marked[v] = d > 0 && luby::is_marked(seed, v, iter, d);
         });
+        if let Some(f) = flip {
+            if f.iteration == iter && f.xor != 0 && f.node < n && active[f.node] {
+                let d = active_deg[f.node];
+                if d > 0 {
+                    marked[f.node] = !marked[f.node];
+                }
+            }
+        }
         let (active, active_deg, marked) = (&active[..], &active_deg[..], &marked[..]);
         sweep(scan, n, frontier, active, count, |v| {
             let d = active_deg[v];
@@ -265,6 +313,7 @@ impl<'g> FlatBackend<'g> {
         let scan = self.scan;
         let count = self.active_count;
         let rho = params.rho(scale);
+        let flip = self.coin_flip;
         self.wins.clear();
         let Self {
             frontier,
@@ -283,6 +332,11 @@ impl<'g> FlatBackend<'g> {
                 0
             };
         });
+        if let Some(f) = flip {
+            if f.iteration == iter && f.node < n && active[f.node] {
+                prio[f.node] = (prio[f.node] ^ f.xor) | 1;
+            }
+        }
         let (active, prio) = (&active[..], &prio[..]);
         sweep(scan, n, frontier, active, count, |v| {
             let p = prio[v];
@@ -420,16 +474,58 @@ impl MisBackend for FlatBackend<'_> {
 
     fn step_round(&mut self) -> Result<(), BackendError> {
         debug_assert!(!self.is_done(), "step_round called after completion");
+        let entering = self.active_count;
+        // Effective sweep density for this round. Sweeps never change the
+        // active set mid-round (only exit/bad-exit steps shrink it, and
+        // they run after their sweeps), so the density chosen at round
+        // entry is the one every sweep in the round uses.
+        let dense = match self.scan {
+            ScanMode::Dense => true,
+            ScanMode::Sparse => false,
+            ScanMode::Auto => entering * DENSE_FRACTION >= self.g.n(),
+        };
         if self.recorder.enabled() {
             self.recorder
-                .observe("flat_round_frontier", self.active_count as u64);
+                .observe("flat_round_frontier", entering as u64);
+            if self.last_dense.is_some_and(|prev| prev != dense) {
+                self.recorder.add("flat_scan_mode_flips", 1);
+            }
         }
+        self.last_dense = Some(dense);
+        // Coin digest of the round about to execute (needs the active
+        // set *entering* the round). Pure RNG replay — observation only.
+        let coin_digest = if self.flight.enabled() {
+            divergence::coin_digest(
+                &self.algo,
+                self.seed,
+                self.g.n(),
+                self.round,
+                |v| self.active[v],
+                self.coin_flip,
+            )
+        } else {
+            0
+        };
         self.joiners.clear();
         match self.algo {
             FlatAlgo::Luby | FlatAlgo::Metivier => self.step_fast3(),
             FlatAlgo::BoundedArb { params, rho_cutoff } => self.step_arb(params, rho_cutoff),
         }
         self.round += 1;
+        if self.flight.enabled() {
+            self.flight.record(RoundRecord {
+                engine: "flat",
+                round: self.round - 1,
+                frontier: entering as u64,
+                joiners: self.joiners.len() as u64,
+                joiner_digest: divergence::joiner_digest(&self.joiners),
+                coin_digest,
+                messages: 0,
+                bits: 0,
+                scan: if dense { "dense" } else { "sparse" },
+                span_seq: self.recorder.seq(),
+            });
+        }
         if self.unfinished == 0 && !self.obs_flushed {
             self.obs_flushed = true;
             if self.recorder.enabled() {

@@ -37,9 +37,11 @@
 //! bad-exit round), `Θ` scales total.
 
 mod congest_backend;
+pub mod divergence;
 mod flat_backend;
 
 pub use congest_backend::CongestBackend;
+pub use divergence::{localize, CoinFlip, Divergence, DivergenceKind, ReplayArtifact};
 pub use flat_backend::FlatBackend;
 
 use arbmis_congest::SimulatorError;

@@ -177,6 +177,93 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Rebuilds a histogram from an exported cumulative series plus its
+    /// summary fields — the inverse of [`cumulative`](Self::cumulative),
+    /// used by the trace-report parser. Returns `None` if the series is
+    /// not a valid prefix of the bucket grid (wrong upper bounds, a
+    /// decreasing cumulative count, or a final count disagreeing with
+    /// `count`).
+    pub fn from_cumulative(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        cumulative: &[(u64, u64)],
+    ) -> Option<Histogram> {
+        let mut counts = Vec::with_capacity(cumulative.len());
+        let mut prev = 0u64;
+        for (i, &(le, acc)) in cumulative.iter().enumerate() {
+            if le != Self::bucket_upper_bound(i) || acc < prev {
+                return None;
+            }
+            counts.push(acc - prev);
+            prev = acc;
+        }
+        if prev != count {
+            return None;
+        }
+        Some(Histogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+
+    /// An upper-bound estimate of the `p`-th percentile (`p` in
+    /// `[0, 100]`): the inclusive upper bound of the first bucket whose
+    /// cumulative count reaches `⌈p/100 · count⌉`, clamped to the
+    /// observed `[min, max]` range (so a single-valued histogram reports
+    /// that exact value at every percentile). Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Self::bucket_upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The p50/p90/p99 percentile summary (all zero when empty).
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min,
+            max: self.max,
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+        }
+    }
+}
+
+/// Percentile summary of a [`Histogram`] (see [`Histogram::summary`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// 50th-percentile upper bound.
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
 }
 
 #[cfg(test)]
@@ -299,6 +386,122 @@ mod tests {
         let mut fresh = Histogram::new();
         fresh.observe(4);
         assert_eq!(h, fresh);
+    }
+
+    #[test]
+    fn percentile_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 0);
+        }
+        assert_eq!(h.summary(), Summary::default());
+    }
+
+    #[test]
+    fn percentile_single_observation_is_exact() {
+        // Clamping to [min, max] makes every percentile of a one-value
+        // histogram that exact value, even mid-bucket.
+        for v in [0u64, 1, 5, 100, 1 << 40] {
+            let mut h = Histogram::new();
+            h.observe(v);
+            for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+                assert_eq!(h.percentile(p), v, "p{p} of single {v}");
+            }
+        }
+    }
+
+    /// Exact-bucket cases: observations sitting on bucket upper bounds,
+    /// where the estimate is exact by construction.
+    #[test]
+    fn percentile_exact_bucket_cases() {
+        let mut h = Histogram::new();
+        // 10 observations: one per bucket upper bound 0,1,3,7,...
+        for i in 0..10usize {
+            h.observe(Histogram::bucket_upper_bound(i));
+        }
+        // Rank ⌈p/100·10⌉ lands exactly on the (rank-1)-th bound.
+        assert_eq!(h.percentile(10.0), 0);
+        assert_eq!(h.percentile(20.0), 1);
+        assert_eq!(h.percentile(30.0), 3);
+        assert_eq!(h.percentile(50.0), 15);
+        assert_eq!(h.percentile(90.0), 255);
+        assert_eq!(h.percentile(100.0), 511);
+        // p99 rounds up to the last of the 10 observations.
+        assert_eq!(h.percentile(99.0), 511);
+        // Out-of-range p clamps.
+        assert_eq!(h.percentile(-3.0), 0);
+        assert_eq!(h.percentile(250.0), 511);
+    }
+
+    #[test]
+    fn percentile_skewed_mass() {
+        let mut h = Histogram::new();
+        h.observe_n(1, 99); // bucket 1
+        h.observe(1000); // bucket 10 (le 1023), the single outlier
+        assert_eq!(h.percentile(50.0), 1);
+        assert_eq!(h.percentile(99.0), 1);
+        // The top observation is clamped to max: 1000, not 1023.
+        assert_eq!(h.percentile(100.0), 1000);
+        let s = h.summary();
+        assert_eq!((s.count, s.p50, s.p90, s.p99), (100, 1, 1, 1));
+        assert_eq!((s.min, s.max), (1, 1000));
+    }
+
+    /// Merge-then-percentile equals percentile of the interleaved whole,
+    /// in both merge orders.
+    #[test]
+    fn merge_then_percentile_commutes() {
+        let left = [0u64, 3, 9, 12, 77, 1 << 20];
+        let right = [5u64, 0, 1023, 64, 64, 64, 2];
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &left {
+            whole.observe(v);
+            a.observe(v);
+        }
+        for &v in &right {
+            whole.observe(v);
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            assert_eq!(ab.percentile(p), whole.percentile(p), "p{p} a+b");
+            assert_eq!(ba.percentile(p), whole.percentile(p), "p{p} b+a");
+        }
+        assert_eq!(ab.summary(), whole.summary());
+        assert_eq!(ba.summary(), whole.summary());
+    }
+
+    #[test]
+    fn from_cumulative_roundtrips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 8, 1000, 1000] {
+            h.observe(v);
+        }
+        let back =
+            Histogram::from_cumulative(h.count(), h.sum(), h.min(), h.max(), &h.cumulative())
+                .unwrap();
+        assert_eq!(back, h);
+        // Empty histogram round-trips too.
+        let e = Histogram::new();
+        assert_eq!(
+            Histogram::from_cumulative(0, 0, 0, 0, &e.cumulative()).unwrap(),
+            e
+        );
+    }
+
+    #[test]
+    fn from_cumulative_rejects_malformed_series() {
+        // Wrong upper bound grid.
+        assert!(Histogram::from_cumulative(1, 5, 5, 5, &[(2, 1)]).is_none());
+        // Decreasing cumulative count.
+        assert!(Histogram::from_cumulative(2, 0, 0, 0, &[(0, 2), (1, 1)]).is_none());
+        // Final cumulative disagrees with count.
+        assert!(Histogram::from_cumulative(3, 0, 0, 0, &[(0, 2)]).is_none());
     }
 
     #[test]

@@ -37,10 +37,16 @@
 //! assert!(snap.to_prometheus().contains("# TYPE messages counter"));
 //! ```
 
+pub mod flight;
 pub mod hist;
 pub mod recorder;
+pub mod report;
+pub mod serve;
 pub mod snapshot;
 
+pub use flight::{
+    global_flight, install_flight_panic_hook, set_global_flight, FlightRecorder, RoundRecord,
+};
 pub use hist::Histogram;
 pub use recorder::{is_timing_class, Event, Recorder, SpanGuard};
 pub use snapshot::Snapshot;

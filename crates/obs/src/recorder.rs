@@ -158,6 +158,14 @@ impl Recorder {
         self.inner.as_ref().is_some_and(|i| i.timing)
     }
 
+    /// The next event sequence number (0 when disabled). Deterministic
+    /// class: events are pure functions of `(graph, seed, config)`, so
+    /// this ties external records (e.g. flight-recorder rounds) to a
+    /// stable position in the event log.
+    pub fn seq(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.state.lock().seq)
+    }
+
     /// Opens a nested phase span; the returned guard closes it on drop.
     /// Spans model the *coordinating* control flow: open and close them
     /// on one logical thread, LIFO.

@@ -1,0 +1,211 @@
+//! A dependency-free blocking HTTP listener exposing a recorder live —
+//! the seed of the always-on metrics server tier.
+//!
+//! [`Server`] binds a [`std::net::TcpListener`] and answers four routes:
+//!
+//! | route          | payload                                         |
+//! |----------------|-------------------------------------------------|
+//! | `/metrics`     | [`Snapshot::to_prometheus`] (exposition 0.0.4)  |
+//! | `/trace.json`  | [`Snapshot::to_chrome_trace`] (Perfetto)        |
+//! | `/flight.jsonl`| the global [`crate::FlightRecorder`] ring       |
+//! | `/healthz`     | `ok`                                            |
+//!
+//! The snapshot source is a closure, so the server can front a live
+//! [`crate::Recorder`] (snapshot per request) or a static snapshot
+//! loaded from a trace file. One request per connection, `Connection:
+//! close` — deliberately minimal: no threads, no keep-alive, no TLS.
+//! Observation rule (DESIGN.md §8) holds trivially: serving reads a
+//! snapshot copy and never touches engine state.
+
+use crate::flight::global_flight;
+use crate::snapshot::Snapshot;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// Produces the snapshot served on each request.
+pub type SnapshotSource = Box<dyn Fn() -> Snapshot + Send>;
+
+/// A blocking single-threaded metrics server. See the module docs.
+pub struct Server {
+    listener: TcpListener,
+    source: SnapshotSource,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port)
+    /// and serves snapshots drawn from `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind<A: ToSocketAddrs>(addr: A, source: SnapshotSource) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            source,
+        })
+    }
+
+    /// Convenience: serve live snapshots of `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind_recorder<A: ToSocketAddrs>(
+        addr: A,
+        recorder: crate::Recorder,
+    ) -> std::io::Result<Server> {
+        Self::bind(addr, Box::new(move || recorder.snapshot()))
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and answers exactly one connection (the testable unit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept/read/write errors; a malformed request is
+    /// answered with a 400 and is not an error.
+    pub fn handle_one(&self) -> std::io::Result<()> {
+        let (stream, _) = self.listener.accept()?;
+        self.answer(stream)
+    }
+
+    /// Serves forever (accept loop; per-connection errors are ignored so
+    /// one bad client cannot kill the endpoint).
+    pub fn serve_forever(&self) -> ! {
+        loop {
+            if let Ok((stream, _)) = self.listener.accept() {
+                let _ = self.answer(stream);
+            }
+        }
+    }
+
+    fn answer(&self, mut stream: TcpStream) -> std::io::Result<()> {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut request_line = String::new();
+        reader.read_line(&mut request_line)?;
+        // Drain headers (bounded) so well-behaved clients see a clean
+        // close; content is ignored.
+        let mut header = String::new();
+        for _ in 0..128 {
+            header.clear();
+            if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+                break;
+            }
+        }
+        let mut parts = request_line.split_whitespace();
+        let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        let response = if method != "GET" {
+            http_response(405, "text/plain; charset=utf-8", "method not allowed\n")
+        } else {
+            match path {
+                "/metrics" => http_response(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &(self.source)().to_prometheus(),
+                ),
+                "/trace.json" => {
+                    http_response(200, "application/json", &(self.source)().to_chrome_trace())
+                }
+                "/flight.jsonl" => {
+                    http_response(200, "application/jsonl", &global_flight().to_jsonl())
+                }
+                "/healthz" => http_response(200, "text/plain; charset=utf-8", "ok\n"),
+                "/" => http_response(
+                    200,
+                    "text/plain; charset=utf-8",
+                    "arbmis obs endpoints: /metrics /trace.json /flight.jsonl /healthz\n",
+                ),
+                "" => http_response(400, "text/plain; charset=utf-8", "bad request\n"),
+                _ => http_response(404, "text/plain; charset=utf-8", "not found\n"),
+            }
+        };
+        stream.write_all(response.as_bytes())?;
+        stream.flush()
+    }
+}
+
+fn http_response(status: u16, content_type: &str, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use std::io::Read;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_health_and_404() {
+        let rec = Recorder::deterministic();
+        rec.add("congest_rounds", 9);
+        rec.observe("round_bits", 5);
+        let server = Server::bind_recorder("127.0.0.1:0", rec.clone()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            for _ in 0..5 {
+                server.handle_one().unwrap();
+            }
+        });
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("version=0.0.4"), "{metrics}");
+        assert!(metrics.contains("congest_rounds 9"), "{metrics}");
+        assert!(metrics.contains("round_bits_bucket"), "{metrics}");
+
+        // The endpoint is live: new observations appear on re-scrape.
+        rec.add("congest_rounds", 1);
+        assert!(get(addr, "/metrics").contains("congest_rounds 10"));
+
+        assert!(get(addr, "/healthz").contains("ok"));
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        let trace = get(addr, "/trace.json");
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let server = Server::bind_recorder("127.0.0.1:0", Recorder::deterministic()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.handle_one().unwrap());
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let resp = http_response(200, "text/plain", "hello\n");
+        assert!(resp.contains("Content-Length: 6\r\n"));
+        assert!(resp.ends_with("\r\n\r\nhello\n"));
+    }
+}

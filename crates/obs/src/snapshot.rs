@@ -156,18 +156,21 @@ impl Snapshot {
         for (name, v) in &self.counters {
             let (base, labels) = split_labels(name);
             let base = sanitize(&base);
+            let labels = escape_label_block(&labels);
             type_line(&mut out, &base, "counter");
             let _ = writeln!(out, "{base}{labels} {v}");
         }
         for (name, v) in &self.gauges {
             let (base, labels) = split_labels(name);
             let base = sanitize(&base);
+            let labels = escape_label_block(&labels);
             type_line(&mut out, &base, "gauge");
             let _ = writeln!(out, "{base}{labels} {}", fmt_f64(*v));
         }
         for (name, h) in &self.histograms {
             let (base, labels) = split_labels(name);
             let base = sanitize(&base);
+            let labels = escape_label_block(&labels);
             type_line(&mut out, &base, "histogram");
             for (le, c) in h.cumulative() {
                 let _ = writeln!(out, "{base}_bucket{} {c}", merge_labels(&labels, le));
@@ -181,6 +184,90 @@ impl Snapshot {
             let _ = writeln!(out, "{base}_sum{labels} {}", h.sum());
             let _ = writeln!(out, "{base}_count{labels} {}", h.count());
         }
+        out
+    }
+
+    /// Renders the event log in the Chrome trace-event JSON format
+    /// (loadable in Perfetto / `chrome://tracing`): every span becomes a
+    /// `B`/`E` duration pair, every point event an `i` instant, all on
+    /// one synthetic track (`pid` 1, `tid` 1), timestamps in
+    /// microseconds.
+    ///
+    /// Wall-clock placement uses a running clock fed by the recorded
+    /// span durations: a span starts at the current clock, ends at
+    /// `start + wall_ns` (never before a child's end), and advances the
+    /// clock. Under a [`crate::Recorder::deterministic`] recorder every
+    /// duration is zero, so all timestamps collapse to 0 — the event
+    /// *order* (array order) still reproduces the phase structure, and
+    /// the rendered bytes are identical run to run.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut now_ns = 0u64;
+        let mut starts: Vec<u64> = Vec::new();
+        let push = |out: &mut String, first: &mut bool, ev: String| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push('\n');
+            out.push_str(&ev);
+        };
+        let ts_us = |ns: u64| format!("{:.3}", ns as f64 / 1e3);
+        for e in &self.events {
+            match e {
+                Event::SpanStart { seq, path } => {
+                    let name = path.rsplit('/').next().unwrap_or(path);
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":{},\"name\":\"{}\",\"args\":{{\"path\":\"{}\",\"seq\":{seq}}}}}",
+                            ts_us(now_ns),
+                            escape(name),
+                            escape(path)
+                        ),
+                    );
+                    starts.push(now_ns);
+                }
+                Event::SpanEnd { seq, path, wall_ns } => {
+                    let start = starts.pop().unwrap_or(now_ns);
+                    // Never end before the clock (children already
+                    // advanced it); nested spans stay properly nested.
+                    let end = (start + wall_ns).max(now_ns);
+                    let name = path.rsplit('/').next().unwrap_or(path);
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":{},\"name\":\"{}\",\"args\":{{\"path\":\"{}\",\"seq\":{seq}}}}}",
+                            ts_us(end),
+                            escape(name),
+                            escape(path)
+                        ),
+                    );
+                    now_ns = end;
+                }
+                Event::Point {
+                    seq,
+                    path,
+                    name,
+                    value,
+                } => {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":{},\"s\":\"t\",\"name\":\"{}\",\"args\":{{\"path\":\"{}\",\"value\":{value},\"seq\":{seq}}}}}",
+                            ts_us(now_ns),
+                            escape(name),
+                            escape(path)
+                        ),
+                    );
+                }
+            }
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
         out
     }
 }
@@ -234,6 +321,77 @@ fn sanitize(base: &str) -> String {
             }
         })
         .collect()
+}
+
+/// Escapes label *values* inside a `{k="v",…}` block per the Prometheus
+/// text exposition format 0.0.4: backslash → `\\`, double-quote → `\"`,
+/// line feed → `\n`. Recorded label values are raw (instrumentation
+/// sites write whatever string they have), so escaping happens once
+/// here, at render time.
+///
+/// The only ambiguity in the raw encoding is a `"` inside a value; it is
+/// resolved by the closing heuristic: a `"` terminates a value only when
+/// followed by `,` (next pair) or by `}` at the very end of the block.
+/// A malformed block (no `=`, unterminated value, …) is returned
+/// unchanged — fail open, matching `sanitize`'s best-effort spirit.
+fn escape_label_block(labels: &str) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let Some(inner) = labels.strip_prefix('{').and_then(|s| s.strip_suffix('}')) else {
+        return labels.to_string();
+    };
+    let chars: Vec<char> = inner.chars().collect();
+    let mut out = String::with_capacity(labels.len() + 8);
+    out.push('{');
+    let mut i = 0;
+    while i < chars.len() {
+        // Key up to '='.
+        let key_start = i;
+        while i < chars.len() && chars[i] != '=' {
+            i += 1;
+        }
+        if i == key_start || i >= chars.len() {
+            return labels.to_string();
+        }
+        out.extend(&chars[key_start..i]);
+        out.push('=');
+        i += 1;
+        // Opening quote.
+        if i >= chars.len() || chars[i] != '"' {
+            return labels.to_string();
+        }
+        out.push('"');
+        i += 1;
+        // Value: a '"' closes it only before ',' or at block end.
+        let mut closed = false;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '"' && (i + 1 == chars.len() || chars[i + 1] == ',') {
+                closed = true;
+                out.push('"');
+                i += 1;
+                break;
+            }
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+            i += 1;
+        }
+        if !closed {
+            return labels.to_string();
+        }
+        if i < chars.len() {
+            // Must be the ',' separating the next pair.
+            out.push(',');
+            i += 1;
+        }
+    }
+    out.push('}');
+    out
 }
 
 /// Adds `le="n"` to a (possibly empty) label block.
@@ -334,6 +492,123 @@ round_bits_count{proto=\"luby\"} 2
     #[test]
     fn sanitize_dots_and_dashes() {
         assert_eq!(sanitize("a.b-c:d_e"), "a_b_c:d_e");
+    }
+
+    /// Exposition-format 0.0.4 label-value escaping, pinned: `\` → `\\`,
+    /// `"` → `\"`, newline → `\n`.
+    #[test]
+    fn label_values_escaped_per_exposition_format() {
+        assert_eq!(
+            escape_label_block("{path=\"C:\\temp\\x\"}"),
+            "{path=\"C:\\\\temp\\\\x\"}"
+        );
+        assert_eq!(
+            escape_label_block("{note=\"line1\nline2\"}"),
+            "{note=\"line1\\nline2\"}"
+        );
+        assert_eq!(
+            escape_label_block("{q=\"say \"hi\" now\"}"),
+            "{q=\"say \\\"hi\\\" now\"}"
+        );
+        // Multiple pairs: only values are touched, keys and separators
+        // pass through.
+        assert_eq!(
+            escape_label_block("{a=\"x\\y\",b=\"plain\"}"),
+            "{a=\"x\\\\y\",b=\"plain\"}"
+        );
+        // Clean blocks are unchanged.
+        assert_eq!(
+            escape_label_block("{worker=\"3\",exp=\"E9\"}"),
+            "{worker=\"3\",exp=\"E9\"}"
+        );
+        assert_eq!(escape_label_block(""), "");
+    }
+
+    #[test]
+    fn malformed_label_blocks_fail_open() {
+        for raw in [
+            "{novalue}",
+            "{k=unquoted}",
+            "{k=\"unterminated}",
+            "{=\"v\"}",
+            "not-a-block",
+        ] {
+            assert_eq!(escape_label_block(raw), raw, "{raw}");
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_escapes_label_values() {
+        let r = Recorder::new();
+        r.gauge("g{path=\"a\\b\"}", 1.0);
+        r.add("c{msg=\"two\nlines\"}", 3);
+        let prom = r.snapshot().to_prometheus();
+        assert!(prom.contains("g{path=\"a\\\\b\"} 1"), "{prom}");
+        assert!(prom.contains("c{msg=\"two\\nlines\"} 3"), "{prom}");
+        // The rendered exposition has no raw newline inside a line.
+        for line in prom.lines() {
+            assert!(!line.is_empty());
+        }
+        assert_eq!(prom.lines().count(), 4); // 2 TYPE lines + 2 samples
+    }
+
+    #[test]
+    fn histogram_label_values_escaped_in_all_series() {
+        let r = Recorder::new();
+        r.observe("h{src=\"x\\y\"}", 2);
+        let prom = r.snapshot().to_prometheus();
+        assert!(prom.contains("h_bucket{src=\"x\\\\y\",le=\"1\"}"), "{prom}");
+        assert!(
+            prom.contains("h_bucket{src=\"x\\\\y\",le=\"+Inf\"} 1"),
+            "{prom}"
+        );
+        assert!(prom.contains("h_sum{src=\"x\\\\y\"} 2"), "{prom}");
+        assert!(prom.contains("h_count{src=\"x\\\\y\"} 1"), "{prom}");
+    }
+
+    #[test]
+    fn chrome_trace_shape_pinned() {
+        let s = sample();
+        let trace = s.to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+        assert!(trace.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        // One B and one E per span, one i per point.
+        assert_eq!(trace.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\":\"E\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\":\"i\"").count(), 1);
+        // Span names are the last path segment; full path in args.
+        assert!(trace.contains("\"name\":\"shattering\""));
+        assert!(trace.contains("\"path\":\"arbmis/shattering\""));
+        // Deterministic recorder: every timestamp is 0.000.
+        assert_eq!(trace.matches("\"ts\":0.000").count(), 5);
+        // Deterministic bytes run to run.
+        assert_eq!(trace, sample().to_chrome_trace());
+    }
+
+    #[test]
+    fn chrome_trace_timed_spans_nest() {
+        let r = Recorder::new();
+        {
+            let _a = r.span("outer");
+            let _b = r.span("inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let trace = r.snapshot().to_chrome_trace();
+        // Extract ts values in event order: B(outer) B(inner) E(inner) E(outer).
+        let ts: Vec<f64> = trace
+            .lines()
+            .filter_map(|l| {
+                let i = l.find("\"ts\":")?;
+                let rest = &l[i + 5..];
+                let end = rest.find(',')?;
+                rest[..end].parse().ok()
+            })
+            .collect();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts[0], 0.0);
+        assert_eq!(ts[1], 0.0);
+        assert!(ts[2] > 0.0, "inner span has nonzero duration");
+        assert!(ts[3] >= ts[2], "outer ends at or after inner");
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Divergence forensics end to end: inject a single coin flip into a
+//! `FlatBackend`, localize the first divergent round against the
+//! CONGEST reference with `flat::divergence::localize`, and package the
+//! case as a self-contained replay artifact for `arbmis replay`
+//! (DESIGN.md §8.2).
+//!
+//! ```sh
+//! cargo run --release --example divergence_demo
+//! cargo run --release --bin arbmis -- replay --input divergence.json
+//! ```
+
+use arbmis::flat::divergence::{localize, BackendSpec, ReplayArtifact};
+use arbmis::flat::{CoinFlip, CongestBackend, FlatAlgo, FlatBackend};
+use arbmis::graph::gen::{GraphFamily, GraphSpec};
+use rand::SeedableRng;
+
+const MAX_ROUNDS: u64 = 100_000;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+    let g = GraphSpec::new(GraphFamily::GnpAvgDegree { d: 4.0 }, 120).generate(&mut rng);
+    let seed = 7;
+    println!("graph: {g}, seed {seed}, algo metivier");
+
+    // Find a flip of one iteration-0 coin whose entire first-round
+    // effect is the flipped node itself.
+    let mut found = None;
+    'search: for node in 0..g.n() {
+        for xor in [u64::MAX >> 1, 0xdead_beef_0000_0001, 2] {
+            let flip = CoinFlip {
+                node,
+                iteration: 0,
+                xor,
+            };
+            let mut a = FlatBackend::new(&g, seed, FlatAlgo::Metivier).with_coin_flip(flip);
+            let mut b = CongestBackend::new(&g, seed, FlatAlgo::Metivier);
+            if let Ok(Some(d)) = localize(&mut a, &mut b, MAX_ROUNDS) {
+                if d.nodes == [node] {
+                    found = Some((flip, d));
+                    break 'search;
+                }
+            }
+        }
+    }
+    let (flip, d) = found.expect("some single-node flip diverges");
+    println!(
+        "injected flip: node {} iteration {} xor {:#x}",
+        flip.node, flip.iteration, flip.xor
+    );
+    println!(
+        "localized: first divergent round {} ({}), nodes {:?}",
+        d.round,
+        d.kind.label(),
+        d.nodes
+    );
+
+    // Package the case: graph, seed, both backend specs (including the
+    // injected flip), and the expected divergence. `arbmis replay`
+    // re-runs the localizer and verifies the recorded expectation.
+    let artifact = ReplayArtifact::from_case(
+        &g,
+        seed,
+        FlatAlgo::Metivier,
+        BackendSpec::flat().with_coin_flip(flip),
+        BackendSpec::congest(),
+        MAX_ROUNDS,
+        Some(&d),
+    );
+    std::fs::write("divergence.json", artifact.to_json()).expect("write divergence.json");
+    println!("wrote divergence.json — replay with: arbmis replay --input divergence.json");
+
+    let report = artifact.replay().expect("replay runs");
+    print!("{}", artifact.render(&report));
+}

@@ -15,7 +15,7 @@
 //! ```
 
 use arbmis::core::{arb_mis, check_mis, ghaffari, greedy, luby, metivier, tree_mis, ArbMisConfig};
-use arbmis::flat::{CongestBackend, FlatAlgo, FlatBackend, MisBackend};
+use arbmis::flat::{CongestBackend, FlatAlgo, FlatBackend, MisBackend, ReplayArtifact};
 use arbmis::graph::gen::{GraphFamily, GraphSpec};
 use arbmis::graph::stats::GraphStats;
 use arbmis::graph::{arboricity, io, Graph};
@@ -26,10 +26,14 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  arbmis run   (--input FILE | --family NAME --n N) --algo ALGO [--alpha A] [--seed S] [--obs]
-               [--backend fast|congest|flat]
-  arbmis stats (--input FILE | --family NAME --n N) [--seed S]
-  arbmis gen   --family NAME --n N --output FILE [--seed S]
+  arbmis run    (--input FILE | --family NAME --n N) --algo ALGO [--alpha A] [--seed S] [--obs]
+                [--backend fast|congest|flat] [--flight] [--flight-out FILE]
+                [--trace-out FILE] [--perfetto-out FILE]
+  arbmis stats  (--input FILE | --family NAME --n N) [--seed S]
+  arbmis gen    --family NAME --n N --output FILE [--seed S]
+  arbmis replay --input ARTIFACT.json
+  arbmis obs report --input TRACE.jsonl
+  arbmis obs serve  [--addr HOST:PORT] [--input TRACE.jsonl]
 
 algorithms: greedy luby metivier ghaffari treemis arbmis
 families:   tree caterpillar4 forests2 forests3 ktree2 ktree3 apollonian
@@ -37,12 +41,22 @@ families:   tree caterpillar4 forests2 forests3 ktree2 ktree3 apollonian
 
 --obs attaches the observability recorder and prints a per-phase
 round/time table after the run (results are unchanged; DESIGN.md §8).
+--trace-out / --perfetto-out (need --obs) save the run's event log as
+JSONL / as a Chrome trace-event file loadable in Perfetto.
+
+--flight attaches a bounded flight recorder (last 4096 rounds) that is
+dumped to stderr on panic or backend failure; --flight-out saves it as
+JSONL after the run.
 
 --backend picks the execution engine for luby/metivier: the analytic
 fast path (default), the CONGEST message-passing simulator, or the flat
 shared-memory backend. All three produce the same MIS; the engines
 report one extra round (the final all-halt round the fast path's
-counting convention omits; DESIGN.md §11)."
+counting convention omits; DESIGN.md §11).
+
+replay re-runs a divergence artifact (see DESIGN.md §8) and reports the
+first divergent round; obs report renders a saved trace; obs serve
+exposes /metrics, /trace.json, and /flight.jsonl over HTTP."
     );
     ExitCode::from(2)
 }
@@ -69,7 +83,7 @@ fn family_by_name(name: &str) -> Option<GraphFamily> {
 }
 
 /// Boolean flags take no value; everything else is `--key value`.
-const BOOLEAN_FLAGS: &[&str] = &["obs"];
+const BOOLEAN_FLAGS: &[&str] = &["obs", "flight"];
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut map = HashMap::new();
@@ -108,32 +122,134 @@ fn load_graph(flags: &HashMap<String, String>) -> Result<Graph, String> {
     Ok(GraphSpec::new(fam, n).generate(&mut rng))
 }
 
-/// Renders the `--obs` table: one row per completed phase span (rounds
-/// taken from the span's `rounds` point event, wall time from the span
-/// itself), followed by the recorded counters.
+/// Renders the `--obs` table (phase spans, counters, gauges, and
+/// histogram percentiles) via the shared `obs::report` renderer — the
+/// same output `arbmis obs report` produces from a saved trace.
 fn print_obs_table(snap: &arbmis::obs::Snapshot) {
-    use arbmis::obs::Event;
-    let mut rounds_by_path: HashMap<&str, u64> = HashMap::new();
-    for e in &snap.events {
-        if let Event::Point {
-            path, name, value, ..
-        } = e
-        {
-            if name == "rounds" {
-                rounds_by_path.insert(path, *value);
+    print!("{}", arbmis::obs::report::render(snap));
+}
+
+fn read_file_or_die(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: reading {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn write_file_or_die(path: &str, contents: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("error: writing {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// `arbmis replay --input ARTIFACT.json`: re-run a divergence artifact
+/// and print the deterministic replay report.
+fn cmd_replay(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(path) = flags.get("input") else {
+        eprintln!("replay needs --input ARTIFACT.json");
+        return usage();
+    };
+    let text = match read_file_or_die(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let artifact = match ReplayArtifact::from_json(&text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match artifact.replay() {
+        Ok(report) => {
+            print!("{}", artifact.render(&report));
+            if report.matches_expected == Some(false) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
             }
         }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
-    println!("{:<42} {:>10} {:>12}", "phase", "rounds", "time");
-    for (path, wall_ns) in snap.span_durations() {
-        let rounds = rounds_by_path
-            .get(path.as_str())
-            .map_or_else(|| "-".to_string(), u64::to_string);
-        let time = format!("{:.3}ms", wall_ns as f64 / 1e6);
-        println!("{path:<42} {rounds:>10} {time:>12}");
-    }
-    for (name, v) in &snap.counters {
-        println!("{name} = {v}");
+}
+
+/// `arbmis obs report|serve`: trace tooling over saved or live data.
+fn cmd_obs(rest: &[String]) -> ExitCode {
+    let Some((sub, rest)) = rest.split_first() else {
+        eprintln!("obs needs a subcommand: report or serve");
+        return usage();
+    };
+    let Some(flags) = parse_flags(rest) else {
+        return usage();
+    };
+    match sub.as_str() {
+        "report" => {
+            let Some(path) = flags.get("input") else {
+                eprintln!("obs report needs --input TRACE.jsonl");
+                return usage();
+            };
+            let text = match read_file_or_die(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            match arbmis::obs::report::parse_jsonl(&text) {
+                Ok(snap) => {
+                    print!("{}", arbmis::obs::report::render(&snap));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "serve" => {
+            let addr = flags
+                .get("addr")
+                .map_or("127.0.0.1:9184", String::as_str)
+                .to_string();
+            let server = if let Some(path) = flags.get("input") {
+                let text = match read_file_or_die(path) {
+                    Ok(t) => t,
+                    Err(code) => return code,
+                };
+                match arbmis::obs::report::parse_jsonl(&text) {
+                    Ok(snap) => arbmis::obs::serve::Server::bind(
+                        addr.as_str(),
+                        Box::new(move || snap.clone()),
+                    ),
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                arbmis::obs::serve::Server::bind_recorder(addr.as_str(), arbmis::obs::global())
+            };
+            match server {
+                Ok(server) => {
+                    let bound = server
+                        .local_addr()
+                        .map_or_else(|_| addr.clone(), |a| a.to_string());
+                    eprintln!(
+                        "serving /metrics /trace.json /flight.jsonl /healthz on http://{bound}"
+                    );
+                    server.serve_forever()
+                }
+                Err(e) => {
+                    eprintln!("error: binding {addr}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown obs subcommand {other:?} (expected report or serve)");
+            usage()
+        }
     }
 }
 
@@ -142,17 +258,35 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
+    if cmd == "obs" {
+        return cmd_obs(rest);
+    }
     let Some(flags) = parse_flags(rest) else {
         return usage();
     };
     let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1);
 
     match cmd.as_str() {
+        "replay" => cmd_replay(&flags),
         "run" => {
             let recorder = if flags.contains_key("obs") {
                 let rec = arbmis::obs::Recorder::new();
                 arbmis::obs::set_global(rec.clone());
                 Some(rec)
+            } else {
+                None
+            };
+            if recorder.is_none()
+                && (flags.contains_key("trace-out") || flags.contains_key("perfetto-out"))
+            {
+                eprintln!("error: --trace-out / --perfetto-out need --obs");
+                return ExitCode::FAILURE;
+            }
+            let flight = if flags.contains_key("flight") || flags.contains_key("flight-out") {
+                let f = arbmis::obs::FlightRecorder::bounded(4096);
+                arbmis::obs::set_global_flight(f.clone());
+                arbmis::obs::install_flight_panic_hook();
+                Some(f)
             } else {
                 None
             };
@@ -196,26 +330,35 @@ fn main() -> ExitCode {
                         FlatAlgo::Metivier
                     };
                     let max_rounds = 100_000;
-                    let run = if backend == "flat" {
+                    // Both engine paths report under the same span name so
+                    // `--backend flat --obs` and `--backend congest --obs`
+                    // produce directly comparable phase tables.
+                    let rec = arbmis::obs::global();
+                    let span = rec.span(&format!("backend/{algo}"));
+                    let result = if backend == "flat" {
                         let mut b = FlatBackend::new(&g, seed, flat_algo);
-                        match b.run(max_rounds) {
-                            Ok(r) => (b.mis().to_vec(), r.rounds),
-                            Err(e) => {
-                                eprintln!("error: {e}");
-                                return ExitCode::FAILURE;
-                            }
-                        }
+                        b.run(max_rounds).map(|r| (b.mis().to_vec(), r.rounds))
                     } else {
                         let mut b = CongestBackend::new(&g, seed, flat_algo);
-                        match b.run(max_rounds) {
-                            Ok(r) => (b.mis().to_vec(), r.rounds),
-                            Err(e) => {
-                                eprintln!("error: {e}");
-                                return ExitCode::FAILURE;
-                            }
-                        }
+                        b.run(max_rounds).map(|r| (b.mis().to_vec(), r.rounds))
                     };
-                    run
+                    match result {
+                        Ok((mis, rounds)) => {
+                            rec.point("rounds", rounds);
+                            drop(span);
+                            (mis, rounds)
+                        }
+                        Err(e) => {
+                            drop(span);
+                            if let Some(f) = &flight {
+                                eprintln!("--- flight recorder dump (last {} rounds) ---", f.len());
+                                let _ = f.dump_to(&mut std::io::stderr().lock());
+                                eprintln!("--- end flight recorder dump ---");
+                            }
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
                 }
                 "luby" => {
                     let r = luby::run(&g, seed);
@@ -244,7 +387,25 @@ fn main() -> ExitCode {
                 }
             };
             if let Some(rec) = &recorder {
-                print_obs_table(&rec.snapshot());
+                let snap = rec.snapshot();
+                print_obs_table(&snap);
+                if let Some(path) = flags.get("trace-out") {
+                    if let Err(code) = write_file_or_die(path, &snap.to_jsonl()) {
+                        return code;
+                    }
+                }
+                if let Some(path) = flags.get("perfetto-out") {
+                    if let Err(code) = write_file_or_die(path, &snap.to_chrome_trace()) {
+                        return code;
+                    }
+                }
+            }
+            if let Some(f) = &flight {
+                if let Some(path) = flags.get("flight-out") {
+                    if let Err(code) = write_file_or_die(path, &f.to_jsonl()) {
+                        return code;
+                    }
+                }
             }
             match check_mis(&g, &in_mis) {
                 Ok(()) => {
