@@ -1,0 +1,116 @@
+//! Repair-vs-recompute benchmark for the incremental MIS layer: plays
+//! the standard churn suite (localized, uniform, flash-crowd, hub)
+//! through `DynamicMis`, timing locality-bounded repair against a
+//! from-scratch re-solve after every batch, and writes
+//! `BENCH_dynamic.json` so the trajectory accumulates across commits.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_dynamic_json [--out PATH] [--n NODES] [--seed S] [--quick]
+//! ```
+//!
+//! `--quick` drops to the CI-smoke scale (2k nodes). Every workload is
+//! validity-audited on every batch; the run aborts rather than publish
+//! numbers for an invalid MIS. Timings are 1-core wall-clock (the
+//! repair path is serial by design — determinism first); the structural
+//! columns are machine-independent.
+
+use arbmis_bench::churn::{run_script, standard_suite};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct BenchDoc {
+    schema: String,
+    seed: u64,
+    host_threads: u64,
+    workloads: Vec<BenchEntry>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchEntry {
+    name: String,
+    n0: u64,
+    m0: u64,
+    batches: u64,
+    updates: u64,
+    mean_region_nodes: f64,
+    max_region_nodes: u64,
+    repair_rounds: u64,
+    repair_ms: f64,
+    full_recompute_ms: f64,
+    /// `full_recompute_ms / repair_ms` — the locality win.
+    repair_speedup: f64,
+    valid: bool,
+}
+
+fn main() {
+    let mut out_path = "BENCH_dynamic.json".to_string();
+    let mut n = 20_000usize;
+    let mut seed = 9u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--n" => {
+                n = args
+                    .next()
+                    .expect("--n needs a count")
+                    .parse()
+                    .expect("--n must be an integer")
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer")
+            }
+            "--quick" => n = 2_000,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut entries = Vec::new();
+    for script in standard_suite(n, seed) {
+        let r = run_script(&script, seed, true);
+        assert!(r.valid, "workload {} produced an invalid MIS", r.name);
+        eprintln!(
+            "{}: repair {:.1} ms vs full {:.1} ms ({:.1}x), mean region {:.1} nodes",
+            r.name,
+            r.repair_ns as f64 / 1e6,
+            r.full_ns as f64 / 1e6,
+            r.speedup,
+            r.mean_region,
+        );
+        entries.push(BenchEntry {
+            name: r.name,
+            n0: r.n0 as u64,
+            m0: r.m0 as u64,
+            batches: r.batches as u64,
+            updates: r.updates as u64,
+            mean_region_nodes: r.mean_region,
+            max_region_nodes: r.max_region as u64,
+            repair_rounds: r.repair_rounds,
+            repair_ms: r.repair_ns as f64 / 1e6,
+            full_recompute_ms: r.full_ns as f64 / 1e6,
+            repair_speedup: r.speedup,
+            valid: r.valid,
+        });
+    }
+
+    let doc = BenchDoc {
+        schema: "bench_dynamic/v1".to_string(),
+        seed,
+        host_threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1) as u64,
+        workloads: entries,
+    };
+    let text = serde_json::to_string_pretty(&doc).expect("serializing the JSON artifact");
+    std::fs::write(&out_path, text + "\n").expect("writing the JSON artifact");
+    eprintln!("wrote {out_path}");
+}

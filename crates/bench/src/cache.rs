@@ -10,13 +10,26 @@
 //! always stores the same bytes — which is what makes a warm-cache run
 //! byte-identical to a cold one (DESIGN.md §9).
 //!
-//! Each entry is one file `<dir>/<namespace>/<digest>.entry` holding a
-//! header line (`arbmis-cache v1 <checksum> <len>`) followed by the
-//! payload; the checksum is verified on every read, so a truncated or
-//! corrupted entry is *rejected and deleted*, and the caller recomputes
-//! — poisoning degrades to a cache miss, never to wrong results. Writes
-//! go to a temp file first and are published by `rename`, so concurrent
-//! writers and readers only ever see complete entries.
+//! Each entry is one file `<dir>/<salt>/<namespace>/<digest>.entry`
+//! holding a header line (`arbmis-cache v1 <checksum> <len>`) followed
+//! by the payload; the checksum is verified on every read, so a
+//! truncated or corrupted entry is *rejected and deleted*, and the
+//! caller recomputes — poisoning degrades to a cache miss, never to
+//! wrong results. Writes go to a temp file first and are published by
+//! `rename`, so concurrent writers and readers only ever see complete
+//! entries.
+//!
+//! **Bounded growth.** Salting alone would leak: every [`CODE_SALT`]
+//! bump orphans a whole generation of entries that nothing would ever
+//! read *or delete* again. Two mechanisms keep the directory bounded:
+//!
+//! * the salt is the first path component, so [`Cache::open`] prunes
+//!   every sibling salt directory that is not the current generation;
+//! * the cache carries a byte capacity ([`Cache::open_with_capacity`];
+//!   default [`DEFAULT_CAPACITY`]). Each publish that pushes the current
+//!   generation over capacity evicts entries oldest-mtime-first
+//!   (ties broken by path) until it fits, never evicting the entry just
+//!   published. A single entry larger than the capacity is stored alone.
 
 use arbmis_graph::digest::{checksum64, Fnv128};
 use arbmis_graph::gen::GraphSpec;
@@ -37,6 +50,10 @@ pub const CODE_SALT: &str = "arbmis-cells-v1";
 /// Entry-file magic + format version.
 const MAGIC: &str = "arbmis-cache v1";
 
+/// Default byte capacity of the current salt generation (256 MiB —
+/// generous for edge lists and cell JSON, small next to a target dir).
+pub const DEFAULT_CAPACITY: u64 = 256 * 1024 * 1024;
+
 /// Cache hit/miss tallies. These depend on prior process runs (disk
 /// state), so they are *timing-class* data under the DESIGN.md §8
 /// quarantine — never put them in deterministic output.
@@ -49,6 +66,8 @@ pub struct CacheStats {
     /// Entries found but rejected (checksum/format mismatch) — counted
     /// in addition to the miss they become.
     pub rejected: u64,
+    /// Entries evicted to stay under the byte capacity.
+    pub evicted: u64,
 }
 
 impl CacheStats {
@@ -66,28 +85,58 @@ impl CacheStats {
 /// A content-addressed cache rooted at one directory.
 pub struct Cache {
     dir: PathBuf,
+    capacity: u64,
     hits: AtomicU64,
     misses: AtomicU64,
     rejected: AtomicU64,
+    evicted: AtomicU64,
+    /// Serializes capacity sweeps so concurrent publishers do not race
+    /// each other deleting files.
+    sweep: Mutex<()>,
     /// In-memory graph memo so one process never loads or generates the
     /// same `(spec, seed)` twice, keyed by entry digest.
     graph_memo: Mutex<HashMap<String, Arc<Graph>>>,
 }
 
 impl Cache {
-    /// Opens (creating if needed) a cache rooted at `dir`.
+    /// Opens (creating if needed) a cache rooted at `dir` with the
+    /// [`DEFAULT_CAPACITY`] byte cap.
     ///
     /// # Errors
     ///
     /// Propagates directory-creation failures.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Cache> {
+        Self::open_with_capacity(dir, DEFAULT_CAPACITY)
+    }
+
+    /// Opens (creating if needed) a cache rooted at `dir`, capping the
+    /// current salt generation at `capacity` bytes. Opening also prunes
+    /// every foreign-salt sibling directory — entries a [`CODE_SALT`]
+    /// bump orphaned — so stale generations cannot accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures (pruning is best-effort).
+    pub fn open_with_capacity(dir: impl Into<PathBuf>, capacity: u64) -> io::Result<Cache> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        fs::create_dir_all(dir.join(CODE_SALT))?;
+        if let Ok(siblings) = fs::read_dir(&dir) {
+            for entry in siblings.flatten() {
+                let is_foreign_dir = entry.file_type().is_ok_and(|t| t.is_dir())
+                    && entry.file_name() != std::ffi::OsStr::new(CODE_SALT);
+                if is_foreign_dir {
+                    let _ = fs::remove_dir_all(entry.path());
+                }
+            }
+        }
         Ok(Cache {
             dir,
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            sweep: Mutex::new(()),
             graph_memo: Mutex::new(HashMap::new()),
         })
     }
@@ -97,12 +146,24 @@ impl Cache {
         &self.dir
     }
 
+    /// The current salt generation's directory (everything the byte cap
+    /// governs lives under here).
+    pub fn salt_dir(&self) -> PathBuf {
+        self.dir.join(CODE_SALT)
+    }
+
+    /// The byte capacity of the current salt generation.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
     /// Current hit/miss tallies.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 
@@ -116,7 +177,7 @@ impl Cache {
     /// The on-disk path an entry would live at (exposed so tests and CI
     /// can corrupt or inspect specific entries).
     pub fn entry_path(&self, namespace: &str, key: &str) -> PathBuf {
-        self.dir
+        self.salt_dir()
             .join(namespace)
             .join(format!("{}.entry", Self::digest(namespace, key)))
     }
@@ -158,7 +219,36 @@ impl Cache {
         framed.extend_from_slice(payload);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         fs::write(&tmp, &framed)?;
-        fs::rename(&tmp, &path)
+        fs::rename(&tmp, &path)?;
+        self.enforce_capacity(&path);
+        Ok(())
+    }
+
+    /// Brings the current salt generation back under [`Self::capacity`]
+    /// by deleting entries oldest-mtime-first (ties broken by path),
+    /// sparing `just_published`. Best-effort: I/O hiccups skip a file
+    /// rather than failing the publish that triggered the sweep.
+    fn enforce_capacity(&self, just_published: &Path) {
+        let _guard = self.sweep.lock().unwrap();
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        let mut used = 0u64;
+        collect_entries(&self.salt_dir(), &mut entries, &mut used);
+        if used <= self.capacity {
+            return;
+        }
+        entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        for (_, path, len) in entries {
+            if used <= self.capacity {
+                break;
+            }
+            if path == just_published {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                used = used.saturating_sub(len);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Splits a raw entry file into its verified payload.
@@ -207,6 +297,35 @@ impl Cache {
             .entry(digest)
             .or_insert_with(|| Arc::clone(&g));
         g
+    }
+}
+
+/// Recursively lists `*.entry` files under `root`, accumulating
+/// `(mtime, path, len)` rows and the total byte count (leftover temp
+/// files count toward usage but are never eviction candidates — they
+/// are transient by construction).
+fn collect_entries(
+    root: &Path,
+    entries: &mut Vec<(std::time::SystemTime, PathBuf, u64)>,
+    used: &mut u64,
+) {
+    let Ok(dir) = fs::read_dir(root) else {
+        return;
+    };
+    for entry in dir.flatten() {
+        let path = entry.path();
+        let Ok(meta) = entry.metadata() else {
+            continue;
+        };
+        if meta.is_dir() {
+            collect_entries(&path, entries, used);
+        } else {
+            *used += meta.len();
+            if path.extension().is_some_and(|e| e == "entry") {
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                entries.push((mtime, path, meta.len()));
+            }
+        }
     }
 }
 
@@ -273,7 +392,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                rejected: 0
+                rejected: 0,
+                evicted: 0
             }
         );
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
@@ -346,6 +466,91 @@ mod tests {
         let mut h = Fnv128::new();
         h.write_str(CODE_SALT).write_str(NS_CELL).write_str("key");
         assert_eq!(d, h.hex());
+    }
+
+    /// Total bytes currently under `root`, recursively.
+    fn dir_size(root: &Path) -> u64 {
+        let mut entries = Vec::new();
+        let mut used = 0;
+        collect_entries(root, &mut entries, &mut used);
+        used
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_entries_first() {
+        let dir =
+            std::env::temp_dir().join(format!("arbmis-cache-test-cap-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // Each ~100-byte payload frames to ~140 bytes; capacity fits
+        // roughly two entries.
+        let c = Cache::open_with_capacity(&dir, 300).unwrap();
+        let payload = [7u8; 100];
+        c.put(NS_CELL, "a", &payload).unwrap();
+        // mtime has coarse granularity on some filesystems; space the
+        // writes out so "oldest" is unambiguous.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.put(NS_CELL, "b", &payload).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.put(NS_CELL, "c", &payload).unwrap();
+        assert!(dir_size(&c.salt_dir()) <= c.capacity(), "cap enforced");
+        assert_eq!(c.get(NS_CELL, "a"), None, "oldest entry evicted");
+        assert!(c.get(NS_CELL, "c").is_some(), "just-published entry kept");
+        assert!(c.stats().evicted >= 1);
+        // An entry larger than the whole capacity is stored alone.
+        c.put(NS_CELL, "big", &[1u8; 400]).unwrap();
+        assert!(c.get(NS_CELL, "big").is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_salt_generations_are_pruned_on_open() {
+        let dir =
+            std::env::temp_dir().join(format!("arbmis-cache-test-salt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // Simulate entries orphaned by an earlier CODE_SALT generation.
+        let stale = dir.join("arbmis-cells-v0").join(NS_CELL);
+        fs::create_dir_all(&stale).unwrap();
+        fs::write(stale.join("dead.entry"), vec![0u8; 4096]).unwrap();
+        let c = Cache::open(&dir).unwrap();
+        assert!(!dir.join("arbmis-cells-v0").exists(), "stale salt pruned");
+        assert!(c.salt_dir().exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poison_reheal_and_salt_bump_stay_under_cap() {
+        // The unbounded-growth regression: repeated poison/reheal cycles
+        // plus an abandoned salt generation must leave the directory
+        // bounded by the capacity, not growing with history.
+        let dir =
+            std::env::temp_dir().join(format!("arbmis-cache-test-bound-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let stale = dir.join("some-older-salt").join(NS_GRAPH);
+        fs::create_dir_all(&stale).unwrap();
+        fs::write(stale.join("orphan.entry"), vec![0u8; 1 << 16]).unwrap();
+        let cap = 2_000;
+        let c = Cache::open_with_capacity(&dir, cap).unwrap();
+        for round in 0..20 {
+            let key = format!("cell-{round}");
+            c.put(NS_CELL, &key, &[round as u8; 512]).unwrap();
+            // Poison it, observe the rejection, then reheal.
+            let path = c.entry_path(NS_CELL, &key);
+            let mut bytes = fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xff;
+            fs::write(&path, &bytes).unwrap();
+            assert_eq!(c.get(NS_CELL, &key), None);
+            c.put(NS_CELL, &key, &[round as u8; 512]).unwrap();
+        }
+        assert!(
+            dir_size(&dir) <= cap,
+            "directory must stay bounded: {} > {cap}",
+            dir_size(&dir)
+        );
+        assert!(c.stats().evicted > 0, "history this long must evict");
+        // The newest generation of entries still serves.
+        assert!(c.get(NS_CELL, "cell-19").is_some());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

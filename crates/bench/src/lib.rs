@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 pub mod backend;
 pub mod cache;
 pub mod cell;
+pub mod churn;
 pub mod exps;
 pub mod sched;
 

@@ -39,10 +39,12 @@
 mod congest_backend;
 pub mod divergence;
 mod flat_backend;
+pub mod region;
 
 pub use congest_backend::CongestBackend;
 pub use divergence::{localize, CoinFlip, Divergence, DivergenceKind, ReplayArtifact};
 pub use flat_backend::FlatBackend;
+pub use region::{solve_mis, RegionMis};
 
 use arbmis_congest::SimulatorError;
 use arbmis_core::ArbParams;

@@ -22,6 +22,8 @@
 //!   Lemma 3.7 (shattering) analysis.
 //! * [`subgraph`] — induced subgraphs and the mutable *active-set view*
 //!   that shattering algorithms operate on.
+//! * [`overlay`] — a mutable adjacency overlay over the CSR (delta lists
+//!   + deterministic compaction) for edge/node churn streams.
 //!
 //! # Example
 //!
@@ -45,6 +47,7 @@ pub mod gen;
 pub mod graph;
 pub mod io;
 pub mod orientation;
+pub mod overlay;
 pub mod powerband;
 pub mod props;
 pub mod stats;
@@ -53,4 +56,5 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use graph::{Graph, NodeId};
+pub use overlay::OverlayGraph;
 pub use subgraph::{ActiveView, InducedSubgraph, ScratchSubgraph, SubgraphScratch};

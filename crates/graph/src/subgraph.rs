@@ -133,12 +133,12 @@ impl SubgraphScratch {
         Self::default()
     }
 
-    /// Prepares the next epoch's tables for parent graph `g`.
-    fn begin(&mut self, g: &Graph) {
-        assert!(g.n() <= u32::MAX as usize, "graph too large for u32 ids");
-        if self.stamp.len() < g.n() {
-            self.stamp.resize(g.n(), 0);
-            self.local.resize(g.n(), 0);
+    /// Prepares the next epoch's tables for a parent id space of size `n`.
+    fn begin(&mut self, n: usize) {
+        assert!(n <= u32::MAX as usize, "graph too large for u32 ids");
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.local.resize(n, 0);
         }
         self.epoch += 1;
         self.nodes.clear();
@@ -148,13 +148,22 @@ impl SubgraphScratch {
     /// insertion order matches [`InducedSubgraph::new`] exactly, so the
     /// built graphs are equal.
     fn finish(&mut self, g: &Graph) -> Graph {
+        self.finish_by(|v| g.neighbors(v).iter().copied())
+    }
+
+    /// Generic [`finish`](Self::finish): the parent adjacency is a
+    /// neighbor closure instead of a CSR graph.
+    fn finish_by<I>(&mut self, neighbors: impl Fn(NodeId) -> I) -> Graph
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
         for (i, &v) in self.nodes.iter().enumerate() {
             self.stamp[v] = self.epoch;
             self.local[v] = i as u32;
         }
         let mut b = GraphBuilder::new(self.nodes.len());
         for (i, &v) in self.nodes.iter().enumerate() {
-            for &u in g.neighbors(v) {
+            for u in neighbors(v) {
                 if u > v && self.stamp[u] == self.epoch {
                     b.add_edge(i, self.local[u] as usize);
                 }
@@ -170,11 +179,38 @@ impl SubgraphScratch {
     /// The returned view borrows the scratch; drop it before the next
     /// extraction.
     pub fn induce<'a>(&'a mut self, g: &Graph, nodes: &[NodeId]) -> ScratchSubgraph<'a> {
-        self.begin(g);
+        self.begin(g.n());
         self.nodes.extend_from_slice(nodes);
         self.nodes.sort_unstable();
         self.nodes.dedup();
         let graph = self.finish(g);
+        ScratchSubgraph {
+            graph,
+            scratch: self,
+        }
+    }
+
+    /// Extracts the subgraph induced by `nodes` of a parent presented as
+    /// a neighbor *closure* rather than a CSR [`Graph`] — the entry point
+    /// for mutable overlays ([`crate::OverlayGraph`]), whose adjacency
+    /// has no slice form. `n` bounds the parent id space (tables are
+    /// lazily sized to it); `neighbors(v)` must yield `v`'s neighbors
+    /// without duplicates, in any order. Local ids ascend by parent id,
+    /// exactly as in [`induce`](Self::induce).
+    pub fn induce_by<'a, I>(
+        &'a mut self,
+        n: usize,
+        nodes: &[NodeId],
+        neighbors: impl Fn(NodeId) -> I,
+    ) -> ScratchSubgraph<'a>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        self.begin(n);
+        self.nodes.extend_from_slice(nodes);
+        self.nodes.sort_unstable();
+        self.nodes.dedup();
+        let graph = self.finish_by(neighbors);
         ScratchSubgraph {
             graph,
             scratch: self,
@@ -189,7 +225,7 @@ impl SubgraphScratch {
     /// Panics if `mask.len() != g.n()`.
     pub fn induce_mask<'a>(&'a mut self, g: &Graph, mask: &[bool]) -> ScratchSubgraph<'a> {
         assert_eq!(mask.len(), g.n());
-        self.begin(g);
+        self.begin(g.n());
         self.nodes.extend((0..g.n()).filter(|&v| mask[v]));
         let graph = self.finish(g);
         ScratchSubgraph {
@@ -486,6 +522,38 @@ mod tests {
         for i in 0..expect.n() {
             assert_eq!(got.to_parent(i), expect.to_parent(i));
         }
+    }
+
+    #[test]
+    fn induce_by_matches_induce() {
+        use rand::SeedableRng;
+        let mut r = rand::rngs::StdRng::seed_from_u64(11);
+        let g = gen::gnp(80, 0.08, &mut r);
+        let mut a = SubgraphScratch::new();
+        let mut b = SubgraphScratch::new();
+        let nodes: Vec<usize> = (10..50).collect();
+        let want = a.induce(&g, &nodes);
+        let got = b.induce_by(g.n(), &nodes, |v| g.neighbors(v).iter().copied());
+        assert_eq!(got.graph(), want.graph());
+        for i in 0..want.n() {
+            assert_eq!(got.to_parent(i), want.to_parent(i));
+        }
+        for v in 0..g.n() {
+            assert_eq!(got.to_local(v), want.to_local(v));
+        }
+    }
+
+    #[test]
+    fn induce_by_over_an_overlay() {
+        let mut o = crate::OverlayGraph::new(gen::path(6));
+        o.insert_edge(0, 5);
+        o.remove_edge(2, 3);
+        let mut s = SubgraphScratch::new();
+        let sub = s.induce_by(o.n(), &[0, 1, 2, 3, 5], |v| o.neighbors(v));
+        // Live edges inside {0,1,2,3,5}: 0-1, 1-2, 0-5 (2-3 removed, 4 excluded).
+        assert_eq!(sub.graph().m(), 3);
+        assert_eq!(sub.to_local(5), Some(4));
+        assert_eq!(sub.to_local(4), None);
     }
 
     #[test]

@@ -21,6 +21,12 @@ use crate::flight::global_flight;
 use crate::snapshot::Snapshot;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Per-connection read/write deadline. A client that connects and never
+/// sends a request line (or never drains the response) is cut off after
+/// this long instead of parking the accept loop forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Produces the snapshot served on each request.
 pub type SnapshotSource = Box<dyn Fn() -> Snapshot + Send>;
@@ -29,6 +35,7 @@ pub type SnapshotSource = Box<dyn Fn() -> Snapshot + Send>;
 pub struct Server {
     listener: TcpListener,
     source: SnapshotSource,
+    io_timeout: Duration,
 }
 
 impl Server {
@@ -42,7 +49,15 @@ impl Server {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             source,
+            io_timeout: IO_TIMEOUT,
         })
+    }
+
+    /// Overrides the per-connection read/write deadline (default 5 s).
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Duration) -> Server {
+        self.io_timeout = timeout;
+        self
     }
 
     /// Convenience: serve live snapshots of `recorder`.
@@ -71,7 +86,8 @@ impl Server {
     /// # Errors
     ///
     /// Propagates accept/read/write errors; a malformed request is
-    /// answered with a 400 and is not an error.
+    /// answered with a 400, a connect-and-stall client with a 408 after
+    /// the read deadline — neither is an error.
     pub fn handle_one(&self) -> std::io::Result<()> {
         let (stream, _) = self.listener.accept()?;
         self.answer(stream)
@@ -88,21 +104,46 @@ impl Server {
     }
 
     fn answer(&self, mut stream: TcpStream) -> std::io::Result<()> {
+        // A single stalled client must not wedge the (single-threaded)
+        // accept loop: every read and write on this connection carries a
+        // deadline.
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut request_line = String::new();
-        reader.read_line(&mut request_line)?;
-        // Drain headers (bounded) so well-behaved clients see a clean
-        // close; content is ignored.
-        let mut header = String::new();
-        for _ in 0..128 {
-            header.clear();
-            if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
-                break;
+        let mut timed_out = false;
+        match reader.read_line(&mut request_line) {
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => timed_out = true,
+            Err(e) => return Err(e),
+        }
+        if !timed_out {
+            // Drain headers (bounded) so well-behaved clients see a
+            // clean close; content is ignored. A stall mid-headers is a
+            // timeout too.
+            let mut header = String::new();
+            for _ in 0..128 {
+                header.clear();
+                match reader.read_line(&mut header) {
+                    Ok(0) => break,
+                    Ok(_) if header.trim().is_empty() => break,
+                    Ok(_) => {}
+                    Err(e) if is_timeout(&e) => {
+                        timed_out = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         }
         let mut parts = request_line.split_whitespace();
         let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-        let response = if method != "GET" {
+        // Route matching ignores the query string (`/metrics?x=1` is
+        // `/metrics`) — scrapers add cache-busting params freely.
+        let path = path.split(['?', '#']).next().unwrap_or("");
+        let response = if timed_out {
+            http_response(408, "text/plain; charset=utf-8", "request timeout\n")
+        } else if method != "GET" {
             http_response(405, "text/plain; charset=utf-8", "method not allowed\n")
         } else {
             match path {
@@ -132,12 +173,22 @@ impl Server {
     }
 }
 
+/// Whether `e` is a socket-deadline expiry (`WouldBlock` on Unix,
+/// `TimedOut` on Windows — `set_read_timeout` surfaces either).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 fn http_response(status: u16, content_type: &str, body: &str) -> String {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         _ => "Error",
     };
     format!(
@@ -207,5 +258,61 @@ mod tests {
         let resp = http_response(200, "text/plain", "hello\n");
         assert!(resp.contains("Content-Length: 6\r\n"));
         assert!(resp.ends_with("\r\n\r\nhello\n"));
+    }
+
+    #[test]
+    fn query_string_is_ignored_for_routing() {
+        let server = Server::bind_recorder("127.0.0.1:0", Recorder::deterministic()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            for _ in 0..3 {
+                server.handle_one().unwrap();
+            }
+        });
+        let metrics = get(addr, "/metrics?x=1&y=2");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(get(addr, "/healthz?probe").contains("ok"));
+        assert!(get(addr, "/nope?x=1").starts_with("HTTP/1.1 404"));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn connect_and_stall_gets_408_and_server_stays_alive() {
+        let server = Server::bind_recorder("127.0.0.1:0", Recorder::deterministic())
+            .unwrap()
+            .with_io_timeout(Duration::from_millis(100));
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            for _ in 0..2 {
+                server.handle_one().unwrap();
+            }
+        });
+        // A client that connects and sends nothing: handle_one must not
+        // hang forever; the stalling client is answered 408 once the
+        // read deadline fires.
+        let mut stall = TcpStream::connect(addr).unwrap();
+        let mut out = String::new();
+        stall.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+        // The server survived and still answers the next client.
+        assert!(get(addr, "/healthz").contains("ok"));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn stall_mid_headers_gets_408() {
+        let server = Server::bind_recorder("127.0.0.1:0", Recorder::deterministic())
+            .unwrap()
+            .with_io_timeout(Duration::from_millis(100));
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.handle_one().unwrap());
+        // Request line arrives but the header block never terminates.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n").unwrap();
+        s.flush().unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+        t.join().unwrap();
     }
 }

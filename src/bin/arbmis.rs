@@ -19,6 +19,7 @@ use arbmis::flat::{CongestBackend, FlatAlgo, FlatBackend, MisBackend, ReplayArti
 use arbmis::graph::gen::{GraphFamily, GraphSpec};
 use arbmis::graph::stats::GraphStats;
 use arbmis::graph::{arboricity, io, Graph};
+use arbmis_bench::churn;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -32,6 +33,8 @@ fn usage() -> ExitCode {
   arbmis stats  (--input FILE | --family NAME --n N) [--seed S]
   arbmis gen    --family NAME --n N --output FILE [--seed S]
   arbmis replay --input ARTIFACT.json
+  arbmis churn  [--workload NAME] [--n N] [--seed S] [--batches B] [--batch-size K]
+                [--verify] [--obs] [--flight] [--flight-out FILE]
   arbmis obs report --input TRACE.jsonl
   arbmis obs serve  [--addr HOST:PORT] [--input TRACE.jsonl]
 
@@ -56,7 +59,12 @@ counting convention omits; DESIGN.md §11).
 
 replay re-runs a divergence artifact (see DESIGN.md §8) and reports the
 first divergent round; obs report renders a saved trace; obs serve
-exposes /metrics, /trace.json, and /flight.jsonl over HTTP."
+exposes /metrics, /trace.json, and /flight.jsonl over HTTP.
+
+churn plays an edit script (workloads: localized uniform flash hub all;
+default all) through the incremental maintenance layer and reports
+locality-bounded repair against full recompute per batch; --verify
+audits the MIS after every batch (DESIGN.md §12)."
     );
     ExitCode::from(2)
 }
@@ -83,7 +91,7 @@ fn family_by_name(name: &str) -> Option<GraphFamily> {
 }
 
 /// Boolean flags take no value; everything else is `--key value`.
-const BOOLEAN_FLAGS: &[&str] = &["obs", "flight"];
+const BOOLEAN_FLAGS: &[&str] = &["obs", "flight", "verify"];
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut map = HashMap::new();
@@ -174,6 +182,75 @@ fn cmd_replay(flags: &HashMap<String, String>) -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `arbmis churn`: play churn edit scripts through the incremental
+/// maintenance layer, comparing locality-bounded repair against a full
+/// re-solve after every batch.
+fn cmd_churn(flags: &HashMap<String, String>, seed: u64) -> ExitCode {
+    let n: usize = flags.get("n").and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let batches: usize = flags
+        .get("batches")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
+    let batch_size: usize = flags
+        .get("batch-size")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let verify = flags.contains_key("verify");
+    let workload = flags.get("workload").map(String::as_str).unwrap_or("all");
+    let scripts = match workload {
+        "all" => churn::standard_suite(n, seed),
+        "localized" => vec![churn::localized_churn(n, batches, batch_size, seed)],
+        "uniform" => vec![churn::uniform_mix(n, batches, batch_size, seed)],
+        "flash" => vec![churn::flash_crowd(
+            n,
+            batches,
+            batch_size.max(1) / 4 + 1,
+            seed,
+        )],
+        "hub" => vec![churn::hub_churn(n, batches, (n / 4).clamp(2, 64), seed)],
+        other => {
+            eprintln!(
+                "unknown workload {other:?} (expected localized, uniform, flash, hub, or all)"
+            );
+            return usage();
+        }
+    };
+    println!(
+        "{:<16} {:>8} {:>8} {:>12} {:>11} {:>10} {:>9} {:>8}  valid",
+        "workload",
+        "batches",
+        "updates",
+        "mean region",
+        "max region",
+        "repair ms",
+        "full ms",
+        "speedup"
+    );
+    let mut all_valid = true;
+    for script in &scripts {
+        let r = churn::run_script(script, seed, verify);
+        all_valid &= r.valid;
+        println!(
+            "{:<16} {:>8} {:>8} {:>12.1} {:>11} {:>10.2} {:>9.2} {:>7.1}x  {}",
+            r.name,
+            r.batches,
+            r.updates,
+            r.mean_region,
+            r.max_region,
+            r.repair_ns as f64 / 1e6,
+            r.full_ns as f64 / 1e6,
+            r.speedup,
+            if r.valid { "✓" } else { "INVALID" },
+        );
+    }
+    if all_valid {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("OUTPUT IS NOT AN MIS on at least one workload");
+        ExitCode::FAILURE
     }
 }
 
@@ -268,6 +345,34 @@ fn main() -> ExitCode {
 
     match cmd.as_str() {
         "replay" => cmd_replay(&flags),
+        "churn" => {
+            let recorder = if flags.contains_key("obs") {
+                let rec = arbmis::obs::Recorder::new();
+                arbmis::obs::set_global(rec.clone());
+                Some(rec)
+            } else {
+                None
+            };
+            let flight = if flags.contains_key("flight") || flags.contains_key("flight-out") {
+                let f = arbmis::obs::FlightRecorder::bounded(4096);
+                arbmis::obs::set_global_flight(f.clone());
+                Some(f)
+            } else {
+                None
+            };
+            let code = cmd_churn(&flags, seed);
+            if let Some(rec) = &recorder {
+                print_obs_table(&rec.snapshot());
+            }
+            if let Some(f) = &flight {
+                if let Some(path) = flags.get("flight-out") {
+                    if let Err(code) = write_file_or_die(path, &f.to_jsonl()) {
+                        return code;
+                    }
+                }
+            }
+            code
+        }
         "run" => {
             let recorder = if flags.contains_key("obs") {
                 let rec = arbmis::obs::Recorder::new();

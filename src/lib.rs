@@ -67,6 +67,11 @@ pub use arbmis_core as core;
 /// see DESIGN.md §11).
 pub use arbmis_flat as flat;
 
+/// Incremental MIS maintenance under edge/node churn with
+/// locality-bounded repair (re-export of `arbmis-dynamic`; see
+/// DESIGN.md §12).
+pub use arbmis_dynamic as dynamic;
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -81,5 +86,8 @@ mod tests {
         let mut b = FlatBackend::new(&g, 1, FlatAlgo::Metivier);
         b.run(1_000).unwrap();
         assert_eq!(b.mis(), &run.in_mis[..]);
+        let mut d = crate::dynamic::DynamicMis::new(g, 1);
+        d.apply(&[crate::dynamic::Update::InsertNode(vec![0])]);
+        assert!(d.is_valid_mis());
     }
 }

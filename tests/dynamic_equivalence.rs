@@ -1,0 +1,169 @@
+//! Differential oracle for the incremental MIS layer (DESIGN.md §12):
+//! random edit scripts — mixed edge/node inserts and deletes on graphs
+//! of ≤64 nodes — played through `DynamicMis`, asserting
+//!
+//! 1. **validity after every batch**: the maintained set passes the full
+//!    `is_valid_mis` audit against the mutated graph on every prefix of
+//!    the script, and
+//! 2. **replay determinism**: replicas applying the same script — alone
+//!    or four at a time on concurrent threads — produce byte-identical
+//!    repair transcripts at every batch.
+
+use arbmis::dynamic::{DynamicMis, Update};
+use arbmis::graph::{Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// An abstract edit: concretized against the evolving alive set, so any
+/// random triple becomes a structurally valid update (or is dropped).
+type RawOp = (u8, u16, u16);
+
+/// Strategy: a base graph on `2..=n` nodes plus a stream of raw edits.
+fn script_inputs(
+    max_n: usize,
+    max_ops: usize,
+) -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<RawOp>)> {
+    (2..=max_n).prop_flat_map(move |n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..3 * n),
+            proptest::collection::vec((0u8..4, 0u16..=u16::MAX, 0u16..=u16::MAX), 1..max_ops),
+        )
+    })
+}
+
+fn build_base(n: usize, pairs: &[(usize, usize)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in pairs {
+        b.try_add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Concretizes raw edits into batches of valid updates, tracking the
+/// alive set exactly as `DynamicMis` will evolve it. Pure function of
+/// its inputs — every replica derives the identical script.
+fn concretize(base: &Graph, raw: &[RawOp], batch_size: usize) -> Vec<Vec<Update>> {
+    let mut alive: Vec<usize> = (0..base.n()).collect();
+    let mut next_id = base.n();
+    let mut batches = Vec::new();
+    let mut batch = Vec::new();
+    for &(kind, x, y) in raw {
+        let op = match kind {
+            0 | 1 if alive.len() >= 2 => {
+                let u = alive[x as usize % alive.len()];
+                let v = alive[y as usize % alive.len()];
+                if u == v {
+                    None
+                } else if kind == 0 {
+                    Some(Update::InsertEdge(u, v))
+                } else {
+                    Some(Update::RemoveEdge(u, v))
+                }
+            }
+            2 => {
+                let want = 1 + (x as usize % 3).min(alive.len());
+                let nbrs: Vec<usize> = (0..want)
+                    .filter_map(|i| alive.get((y as usize + i) % alive.len().max(1)).copied())
+                    .collect();
+                alive.push(next_id);
+                next_id += 1;
+                Some(Update::InsertNode(nbrs))
+            }
+            3 if !alive.is_empty() => {
+                let v = alive.swap_remove(x as usize % alive.len());
+                Some(Update::RemoveNode(v))
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            batch.push(op);
+            if batch.len() == batch_size {
+                batches.push(std::mem::take(&mut batch));
+            }
+        }
+    }
+    if !batch.is_empty() {
+        batches.push(batch);
+    }
+    batches
+}
+
+/// Plays the script on a fresh replica, auditing validity after every
+/// batch; returns the per-batch repair transcripts.
+fn play(base: &Graph, batches: &[Vec<Update>], seed: u64) -> Result<Vec<String>, TestCaseError> {
+    let mut d = DynamicMis::new(base.clone(), seed);
+    prop_assert!(d.is_valid_mis(), "initial solve invalid");
+    let mut transcripts = Vec::with_capacity(batches.len());
+    for (i, batch) in batches.iter().enumerate() {
+        let repair = d.apply(batch);
+        transcripts.push(repair.transcript());
+        prop_assert!(
+            d.is_valid_mis(),
+            "invalid MIS after batch {i} of script: {batch:?}"
+        );
+    }
+    Ok(transcripts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every prefix of every random edit script leaves a valid MIS.
+    #[test]
+    fn random_edit_scripts_stay_valid(
+        inputs in script_inputs(64, 120),
+        seed in 0u64..1000,
+    ) {
+        let (n, pairs, raw) = inputs;
+        let base = build_base(n, &pairs);
+        let batches = concretize(&base, &raw, 6);
+        play(&base, &batches, seed)?;
+    }
+
+    /// Replicas replaying one script — serially and four concurrently —
+    /// emit byte-identical repair transcripts.
+    #[test]
+    fn transcripts_identical_across_threads(
+        inputs in script_inputs(48, 80),
+        seed in 0u64..1000,
+    ) {
+        let (n, pairs, raw) = inputs;
+        let base = build_base(n, &pairs);
+        let batches = concretize(&base, &raw, 5);
+        let reference = play(&base, &batches, seed)?;
+        let concurrent: Vec<Result<Vec<String>, TestCaseError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| scope.spawn(|| play(&base, &batches, seed)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("replica thread panicked"))
+                    .collect()
+            });
+        for replica in concurrent {
+            prop_assert_eq!(&replica?, &reference);
+        }
+    }
+}
+
+/// Deterministic long-script smoke (not proptest-minimized): a fixed
+/// dense script with all four update kinds, checked on every prefix.
+#[test]
+fn fixed_script_every_prefix_valid() {
+    let base = build_base(10, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (5, 6)]);
+    let raw: Vec<RawOp> = (0..200u16)
+        .map(|i| {
+            (
+                (i % 4) as u8,
+                i.wrapping_mul(31),
+                i.wrapping_mul(17).wrapping_add(7),
+            )
+        })
+        .collect();
+    let batches = concretize(&base, &raw, 4);
+    assert!(batches.len() > 10, "script should be long");
+    let t1 = play(&base, &batches, 42).expect("script must stay valid");
+    let t2 = play(&base, &batches, 42).expect("replay must stay valid");
+    assert_eq!(t1, t2, "replay transcripts must match byte for byte");
+}
