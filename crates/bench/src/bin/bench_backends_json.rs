@@ -1,8 +1,8 @@
-//! Congest-vs-flat backend benchmark: measures median ns/round of the
-//! CONGEST simulator against the flat shared-memory backend on the same
-//! Métivier executions (identical coins, identical rounds) and writes
-//! `BENCH_backends.json` so the speedup trajectory accumulates across
-//! commits.
+//! Backend benchmark: measures median ns/round of the CONGEST
+//! simulator, the historical byte-mask flat engine, and the bit-packed
+//! flat engine on identical executions (same coins, same rounds) and
+//! writes `BENCH_backends.json` so the speedup trajectory accumulates
+//! across commits.
 //!
 //! Usage:
 //!
@@ -10,14 +10,28 @@
 //! bench_backends_json [--out PATH] [--samples N] [--quick]
 //! ```
 //!
-//! The workload is G(n, d̄ = 4) at generator scales 50k / 1M / 10M
-//! nodes; `--quick` keeps only the 50k point (the CI smoke). Before
-//! timing, each point cross-checks that the two backends computed the
-//! same MIS in the same number of rounds — the numbers are only
-//! comparable because the executions are identical.
+//! The workload is G(n, d̄ = 4): Métivier at generator scales
+//! 50k / 1M / 10M nodes plus a Luby row at 1M; `--quick` keeps only the
+//! 50k Métivier and Luby points (the CI smoke). Before timing, each
+//! point cross-checks that all three engines computed the same MIS in
+//! the same number of rounds — the numbers are only comparable because
+//! the executions are identical.
+//!
+//! Columns per row:
+//!
+//! * `congest_serial_ns_per_round` — the message-passing simulator.
+//! * `flat_ns_per_round` — the byte-mask flat path
+//!   ([`arbmis_bench::flatref::ByteMaskFlat`], the engine as it was
+//!   before bit-packing), kept so the column stays comparable with
+//!   artifacts committed before the optimization.
+//! * `flat_opt_ns_per_round` — the current bit-packed engine
+//!   ([`arbmis_flat::FlatBackend`]) at identity order, single thread.
+//! * `flat_speedup` — congest / flat; `flat_opt_speedup` — flat /
+//!   flat_opt (the win of bit-packing alone, same machine, same run).
 
+use arbmis_bench::flatref::{ByteMaskFlat, RefAlgo};
 use arbmis_congest::{Parallelism, Simulator};
-use arbmis_core::protocols::MetivierProtocol;
+use arbmis_core::protocols::{LubyProtocol, MetivierProtocol, MisNodeState};
 use arbmis_flat::{FlatAlgo, FlatBackend, MisBackend};
 use arbmis_graph::{gen, Graph};
 use rand::SeedableRng;
@@ -41,12 +55,15 @@ struct BenchEntry {
     protocol: String,
     n: u64,
     m: u64,
-    /// CONGEST rounds — identical for both backends by construction.
+    /// CONGEST rounds — identical for all engines by construction.
     rounds: u64,
     congest_serial_ns_per_round: f64,
     flat_ns_per_round: f64,
+    flat_opt_ns_per_round: f64,
     /// `congest_serial_ns_per_round / flat_ns_per_round`.
     flat_speedup: f64,
+    /// `flat_ns_per_round / flat_opt_ns_per_round`.
+    flat_opt_speedup: f64,
 }
 
 /// Median of `samples` measurements of `ns/round`; also returns the
@@ -65,49 +82,116 @@ fn median_ns_per_round(samples: usize, mut run: impl FnMut() -> (u64, u64)) -> (
     (per_round[per_round.len() / 2], rounds)
 }
 
-fn measure(g: &Graph, samples: usize) -> BenchEntry {
-    // Cross-check once: same MIS, same round count.
-    let sim_run = Simulator::new(g, SEED)
-        .with_parallelism(Parallelism::Serial)
-        .run(&MetivierProtocol, MAX_ROUNDS)
-        .expect("congest run");
-    let mut flat = FlatBackend::new(g, SEED, FlatAlgo::Metivier);
-    let flat_run = flat.run(MAX_ROUNDS).expect("flat run");
+fn measure(g: &Graph, algo: FlatAlgo, samples: usize) -> BenchEntry {
+    let ref_algo = match algo {
+        FlatAlgo::Luby => RefAlgo::Luby,
+        FlatAlgo::Metivier => RefAlgo::Metivier,
+        FlatAlgo::BoundedArb { .. } => unreachable!("benchmark covers maximal protocols"),
+    };
+    // Cross-check once: same MIS, same round count, all three engines.
+    let sim_states: Vec<MisNodeState> = match algo {
+        FlatAlgo::Luby => {
+            Simulator::new(g, SEED)
+                .with_parallelism(Parallelism::Serial)
+                .run(&LubyProtocol, MAX_ROUNDS)
+                .expect("congest run")
+                .states
+        }
+        _ => {
+            Simulator::new(g, SEED)
+                .with_parallelism(Parallelism::Serial)
+                .run(&MetivierProtocol, MAX_ROUNDS)
+                .expect("congest run")
+                .states
+        }
+    };
+    let mut flat_opt = FlatBackend::new(g, SEED, algo);
+    let opt_run = flat_opt.run(MAX_ROUNDS).expect("flat run");
+    let mut flat_ref = ByteMaskFlat::new(g, SEED, ref_algo);
+    let ref_rounds = flat_ref.run(MAX_ROUNDS);
     assert_eq!(
-        flat_run.rounds, sim_run.metrics.rounds,
-        "backends disagree on round count"
+        opt_run.rounds, ref_rounds,
+        "flat engines disagree on round count"
     );
-    for (v, s) in sim_run.states.iter().enumerate() {
-        assert_eq!(flat.mis()[v], s.in_mis, "backends disagree on node {v}");
+    for (v, s) in sim_states.iter().enumerate() {
+        assert_eq!(
+            flat_opt.mis().test(v),
+            s.in_mis,
+            "backends disagree on node {v}"
+        );
+        assert_eq!(
+            flat_ref.mis()[v],
+            s.in_mis,
+            "reference engine disagrees on node {v}"
+        );
     }
 
     let (congest_ns, rounds) = median_ns_per_round(samples, || {
         let sim = Simulator::new(g, SEED).with_parallelism(Parallelism::Serial);
         let t0 = Instant::now();
-        let run = sim.run(&MetivierProtocol, MAX_ROUNDS).unwrap();
-        (t0.elapsed().as_nanos() as u64, run.metrics.rounds)
+        let r = match algo {
+            FlatAlgo::Luby => sim.run(&LubyProtocol, MAX_ROUNDS).unwrap().metrics.rounds,
+            _ => {
+                sim.run(&MetivierProtocol, MAX_ROUNDS)
+                    .unwrap()
+                    .metrics
+                    .rounds
+            }
+        };
+        (t0.elapsed().as_nanos() as u64, r)
     });
-    let (flat_ns, flat_rounds) = median_ns_per_round(samples, || {
-        let t0 = Instant::now();
-        let run = flat.run(MAX_ROUNDS).unwrap();
-        (t0.elapsed().as_nanos() as u64, run.rounds)
-    });
-    assert_eq!(rounds, flat_rounds);
+    // The two flat engines are sampled interleaved (ref/opt inside each
+    // sample, order alternating) rather than in separate blocks: on a
+    // shared host a slow window then inflates both columns instead of
+    // whichever engine happened to be measured during it, so the
+    // flat-vs-flat_opt ratio survives machine-level drift.
+    let mut ref_samples = Vec::with_capacity(samples);
+    let mut opt_samples = Vec::with_capacity(samples);
+    for s in 0..samples {
+        let mut time_ref = |v: &mut Vec<f64>| {
+            let t0 = Instant::now();
+            let r = flat_ref.run(MAX_ROUNDS);
+            assert_eq!(r, rounds);
+            v.push(t0.elapsed().as_nanos() as f64 / r.max(1) as f64);
+        };
+        let mut time_opt = |v: &mut Vec<f64>| {
+            let t0 = Instant::now();
+            let run = flat_opt.run(MAX_ROUNDS).unwrap();
+            assert_eq!(run.rounds, rounds);
+            v.push(t0.elapsed().as_nanos() as f64 / run.rounds.max(1) as f64);
+        };
+        if s % 2 == 0 {
+            time_ref(&mut ref_samples);
+            time_opt(&mut opt_samples);
+        } else {
+            time_opt(&mut opt_samples);
+            time_ref(&mut ref_samples);
+        }
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let flat_ns = median(&mut ref_samples);
+    let flat_opt_ns = median(&mut opt_samples);
 
     let name = format!("gnp{}_d4", fmt_scale(g.n()));
     eprintln!(
-        "{name}: congest {congest_ns:.0} ns/round, flat {flat_ns:.0} ns/round ({:.1}x)",
-        congest_ns / flat_ns
+        "{name}/{}: congest {congest_ns:.0} ns/round, flat {flat_ns:.0}, flat_opt {flat_opt_ns:.0} ({:.2}x over flat)",
+        algo.label(),
+        flat_ns / flat_opt_ns
     );
     BenchEntry {
         name,
-        protocol: "metivier".to_string(),
+        protocol: algo.label().to_string(),
         n: g.n() as u64,
         m: g.m() as u64,
         rounds,
         congest_serial_ns_per_round: congest_ns,
         flat_ns_per_round: flat_ns,
+        flat_opt_ns_per_round: flat_opt_ns,
         flat_speedup: congest_ns / flat_ns,
+        flat_opt_speedup: flat_ns / flat_opt_ns,
     }
 }
 
@@ -142,19 +226,30 @@ fn main() {
         }
     }
 
-    let scales: &[usize] = if quick {
-        &[50_000]
+    // (scale, protocol) rows; graphs are regenerated per scale so the
+    // two 1M rows share a workload.
+    let rows: &[(usize, FlatAlgo)] = if quick {
+        &[(50_000, FlatAlgo::Metivier), (50_000, FlatAlgo::Luby)]
     } else {
-        &[50_000, 1_000_000, 10_000_000]
+        &[
+            (50_000, FlatAlgo::Metivier),
+            (1_000_000, FlatAlgo::Metivier),
+            (1_000_000, FlatAlgo::Luby),
+            (10_000_000, FlatAlgo::Metivier),
+        ]
     };
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let mut entries = Vec::new();
-    for &n in scales {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let g = gen::gnp_with_expected_degree(n, 4.0, &mut rng);
-        entries.push(measure(&g, samples));
+    let mut cached: Option<(usize, Graph)> = None;
+    for &(n, algo) in rows {
+        if cached.as_ref().is_none_or(|(cn, _)| *cn != n) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            cached = Some((n, gen::gnp_with_expected_degree(n, 4.0, &mut rng)));
+        }
+        let (_, g) = cached.as_ref().unwrap();
+        entries.push(measure(g, algo, samples));
     }
 
     let doc = BenchDoc {

@@ -1,0 +1,291 @@
+//! The pre-bit-packing flat engine, preserved as a benchmark baseline.
+//!
+//! [`ByteMaskFlat`] replays Luby/Métivier exactly the way the flat
+//! backend did before its masks were word-packed: `Vec<bool>` flags
+//! (one byte per node), a full both-direction neighbor scan in the
+//! decide round, and per-node loops in reset. It exists so
+//! `bench_backends_json` can report the byte-mask path
+//! (`flat_ns_per_round`) next to the bit-packed engine
+//! (`flat_opt_ns_per_round`) from a single binary — the committed
+//! artifact then shows the layout win directly, not across commits.
+//!
+//! The engine is execution-identical to `arbmis_flat::FlatBackend` (the
+//! benchmark cross-checks rounds and the final MIS before timing), but
+//! it is **not** a backend: no observability, no coin flips, no
+//! BoundedArb, no layout or threading knobs.
+
+use arbmis_congest::{rng, Frontier};
+use arbmis_core::{luby, metivier};
+use arbmis_graph::{Graph, NodeId};
+
+/// Which protocol the reference engine replays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefAlgo {
+    /// Luby's Algorithm B.
+    Luby,
+    /// Métivier et al. priority competition.
+    Metivier,
+}
+
+/// `Auto` threshold of the historical engine (matches
+/// `arbmis_flat::DENSE_FRACTION`).
+const DENSE_FRACTION: usize = 8;
+
+/// The byte-mask flat MIS engine (see the module docs).
+pub struct ByteMaskFlat<'g> {
+    g: &'g Graph,
+    seed: u64,
+    algo: RefAlgo,
+    round: u64,
+    unfinished: usize,
+    active: Vec<bool>,
+    in_mis: Vec<bool>,
+    active_deg: Vec<u32>,
+    frontier: Frontier,
+    active_count: usize,
+    prio: Vec<u64>,
+    marked: Vec<bool>,
+    wins: Vec<NodeId>,
+    joiners: Vec<NodeId>,
+    retiring: Vec<NodeId>,
+}
+
+/// Visits every active node in ascending order, dense (byte scan over
+/// `0..n`) or sparse (frontier iteration) by the historical `Auto` rule.
+fn sweep(
+    n: usize,
+    frontier: &Frontier,
+    active: &[bool],
+    active_count: usize,
+    mut f: impl FnMut(NodeId),
+) {
+    if active_count * DENSE_FRACTION >= n {
+        for (v, &a) in active.iter().enumerate() {
+            if a {
+                f(v);
+            }
+        }
+    } else {
+        for v in frontier.iter() {
+            f(v);
+        }
+    }
+}
+
+impl<'g> ByteMaskFlat<'g> {
+    /// A reference engine for `algo` on `g` under `seed`, ready at
+    /// round 0.
+    pub fn new(g: &'g Graph, seed: u64, algo: RefAlgo) -> Self {
+        let n = g.n();
+        let mut b = ByteMaskFlat {
+            g,
+            seed,
+            algo,
+            round: 0,
+            unfinished: 0,
+            active: vec![false; n],
+            in_mis: vec![false; n],
+            active_deg: vec![0; n],
+            frontier: Frontier::new(n),
+            active_count: 0,
+            prio: vec![0; n],
+            marked: vec![false; n],
+            wins: Vec::new(),
+            joiners: Vec::new(),
+            retiring: Vec::new(),
+        };
+        b.reset();
+        b
+    }
+
+    /// Alloc-free rewind to round 0 (per-node loop, as historically).
+    pub fn reset(&mut self) {
+        let g = self.g;
+        let n = g.n();
+        self.round = 0;
+        self.unfinished = n;
+        self.active_count = n;
+        self.frontier.clear();
+        self.wins.clear();
+        self.joiners.clear();
+        self.retiring.clear();
+        for v in 0..n {
+            self.active[v] = true;
+            self.in_mis[v] = false;
+            self.active_deg[v] = g.degree(v) as u32;
+            self.prio[v] = 0;
+            self.marked[v] = false;
+            self.frontier.insert(v);
+        }
+    }
+
+    /// Final MIS membership mask.
+    pub fn mis(&self) -> &[bool] {
+        &self.in_mis
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// True once every node has halted.
+    pub fn is_done(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    /// Runs from a fresh reset to completion, returning the round count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is still pending after `max_rounds`.
+    pub fn run(&mut self, max_rounds: u64) -> u64 {
+        self.reset();
+        while !self.is_done() {
+            assert!(self.round < max_rounds, "round limit {max_rounds}");
+            self.step_round();
+        }
+        self.round
+    }
+
+    fn deactivate(&mut self, v: NodeId) {
+        debug_assert!(self.active[v]);
+        self.active[v] = false;
+        self.frontier.remove(v);
+        self.active_count -= 1;
+        self.retiring.push(v);
+        for &u in self.g.neighbors(v) {
+            self.active_deg[u] -= 1;
+        }
+    }
+
+    fn promote_finished(&mut self) {
+        self.unfinished -= self.retiring.len();
+        self.retiring.clear();
+    }
+
+    /// Two full sweeps: priority fill, then a both-direction win scan
+    /// reading every neighbor's byte flags twice per edge in aggregate.
+    fn decide_metivier(&mut self, iter: u64) {
+        let g = self.g;
+        let n = g.n();
+        let seed = self.seed;
+        let count = self.active_count;
+        self.wins.clear();
+        let Self {
+            frontier,
+            active,
+            prio,
+            wins,
+            ..
+        } = self;
+        sweep(n, frontier, active, count, |v| {
+            prio[v] = rng::draw_priority(seed, v, iter, metivier::TAG_PRIORITY, n);
+        });
+        let (active, prio) = (&active[..], &prio[..]);
+        sweep(n, frontier, active, count, |v| {
+            let pv = (prio[v], v);
+            if g.neighbors(v)
+                .iter()
+                .all(|&u| !active[u] || pv > (prio[u], u))
+            {
+                wins.push(v);
+            }
+        });
+    }
+
+    fn decide_luby(&mut self, iter: u64) {
+        let g = self.g;
+        let n = g.n();
+        let seed = self.seed;
+        let count = self.active_count;
+        self.wins.clear();
+        let Self {
+            frontier,
+            active,
+            active_deg,
+            marked,
+            wins,
+            ..
+        } = self;
+        sweep(n, frontier, active, count, |v| {
+            let d = active_deg[v] as usize;
+            marked[v] = d > 0 && luby::is_marked(seed, v, iter, d);
+        });
+        let (active, active_deg, marked) = (&active[..], &active_deg[..], &marked[..]);
+        sweep(n, frontier, active, count, |v| {
+            let d = active_deg[v];
+            let win = if d == 0 {
+                true
+            } else if marked[v] {
+                let key = (u64::from(d), v);
+                g.neighbors(v)
+                    .iter()
+                    .all(|&u| !active[u] || !marked[u] || (u64::from(active_deg[u]), u) < key)
+            } else {
+                false
+            };
+            if win {
+                wins.push(v);
+            }
+        });
+    }
+
+    fn exit_step(&mut self) {
+        let g = self.g;
+        let wins = std::mem::take(&mut self.wins);
+        for &w in &wins {
+            self.in_mis[w] = true;
+            self.deactivate(w);
+            for &u in g.neighbors(w) {
+                if self.active[u] {
+                    self.deactivate(u);
+                }
+            }
+        }
+        self.joiners.extend_from_slice(&wins);
+        self.wins = wins;
+    }
+
+    /// One CONGEST round on the 3-sub-round iteration timeline.
+    pub fn step_round(&mut self) {
+        self.joiners.clear();
+        match self.round % 3 {
+            0 => self.promote_finished(),
+            1 => {
+                let iter = self.round / 3;
+                match self.algo {
+                    RefAlgo::Luby => self.decide_luby(iter),
+                    RefAlgo::Metivier => self.decide_metivier(iter),
+                }
+            }
+            _ => self.exit_step(),
+        }
+        self.round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbmis_flat::{FlatAlgo, FlatBackend, MisBackend};
+    use arbmis_graph::gen;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn reference_engine_matches_flat_backend() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::gnp_with_expected_degree(2_000, 4.0, &mut rng);
+        for (ra, fa) in [
+            (RefAlgo::Metivier, FlatAlgo::Metivier),
+            (RefAlgo::Luby, FlatAlgo::Luby),
+        ] {
+            let mut reference = ByteMaskFlat::new(&g, 3, ra);
+            let rounds = reference.run(100_000);
+            let mut flat = FlatBackend::new(&g, 3, fa);
+            let run = flat.run(100_000).unwrap();
+            assert_eq!(rounds, run.rounds, "{ra:?} rounds");
+            assert_eq!(flat.mis(), reference.mis(), "{ra:?} MIS");
+        }
+    }
+}

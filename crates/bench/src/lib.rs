@@ -14,6 +14,7 @@ pub mod cache;
 pub mod cell;
 pub mod churn;
 pub mod exps;
+pub mod flatref;
 pub mod sched;
 
 /// A rendered experiment: identifier, headline, table, commentary.

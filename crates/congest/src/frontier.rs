@@ -1,19 +1,23 @@
 //! Sparse active-set bookkeeping for the round engines.
 //!
-//! A [`Frontier`] is a two-level bitset over node ids: one word per 64
-//! nodes plus a summary word per 64 words, so membership updates are
-//! O(1), iteration is ascending and proportional to the set bits (plus
-//! `n/4096` summary words), and clearing only touches dirty words. The
-//! engines double-buffer two of these per round — see DESIGN.md §10.
+//! A [`Frontier`] is a two-level bitset over node ids: a packed
+//! [`BitMask`] (one word per 64 nodes) plus a summary word per 64 words,
+//! so membership updates are O(1), iteration is ascending and
+//! proportional to the set bits (plus `n/4096` summary words), and
+//! clearing only touches dirty words. The engines double-buffer two of
+//! these per round — see DESIGN.md §10. The flat engine additionally
+//! reads the inner mask directly ([`Frontier::mask`]) for dense
+//! word-level sweeps and word-aligned parallel chunking.
 
+use crate::bitmask::BitMask;
 use arbmis_graph::NodeId;
 
 /// A two-level bitset over `0..n` with ascending iteration.
 #[derive(Clone, Debug)]
 pub struct Frontier {
-    /// Bit `v % 64` of `words[v / 64]` ⇔ `v` is in the set.
-    words: Vec<u64>,
-    /// Bit `w % 64` of `summary[w / 64]` ⇔ `words[w] != 0`.
+    /// The membership bits; bit `v % 64` of word `v / 64` ⇔ `v` is set.
+    mask: BitMask,
+    /// Bit `w % 64` of `summary[w / 64]` ⇔ `mask.words()[w] != 0`.
     summary: Vec<u64>,
 }
 
@@ -22,7 +26,7 @@ impl Frontier {
     pub fn new(n: usize) -> Self {
         let nwords = n.div_ceil(64);
         Frontier {
-            words: vec![0; nwords],
+            mask: BitMask::new(n),
             summary: vec![0; nwords.div_ceil(64)],
         }
     }
@@ -30,17 +34,17 @@ impl Frontier {
     /// Inserts `v` (idempotent).
     #[inline]
     pub fn insert(&mut self, v: NodeId) {
+        self.mask.set(v);
         let w = v >> 6;
-        self.words[w] |= 1u64 << (v & 63);
         self.summary[w >> 6] |= 1u64 << (w & 63);
     }
 
     /// Removes `v` (idempotent).
     #[inline]
     pub fn remove(&mut self, v: NodeId) {
+        self.mask.clear(v);
         let w = v >> 6;
-        self.words[w] &= !(1u64 << (v & 63));
-        if self.words[w] == 0 {
+        if self.mask.words()[w] == 0 {
             self.summary[w >> 6] &= !(1u64 << (w & 63));
         }
     }
@@ -48,17 +52,53 @@ impl Frontier {
     /// Whether `v` is in the set.
     #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
-        self.words[v >> 6] & (1u64 << (v & 63)) != 0
+        self.mask.test(v)
     }
 
-    /// Empties the set, touching only dirty words.
-    pub fn clear(&mut self) {
+    /// The packed membership mask (for dense word-level sweeps).
+    #[inline]
+    pub fn mask(&self) -> &BitMask {
+        &self.mask
+    }
+
+    /// Sets every bit in `0..n` in bulk (word fills, no per-node loop).
+    pub fn fill(&mut self) {
+        self.mask.set_all();
+        let nwords = self.mask.words().len();
+        self.summary.fill(u64::MAX);
+        let tail = nwords & 63;
+        if tail != 0 {
+            *self.summary.last_mut().expect("tail implies a word") = (1u64 << tail) - 1;
+        }
+        if nwords == 0 {
+            self.summary.fill(0);
+        }
+    }
+
+    /// Calls `f` with each word index that currently holds set bits, in
+    /// ascending order. This is the summary-walk [`clear`](Self::clear)
+    /// uses; scratch masks that shadow a frontier (the flat engine's
+    /// defeat mask) reuse it to reset only the words a sweep can touch.
+    pub fn for_each_dirty_word(&self, mut f: impl FnMut(usize)) {
         for (s, &sw) in self.summary.iter().enumerate() {
             let mut sbits = sw;
             while sbits != 0 {
                 let w = (s << 6) + sbits.trailing_zeros() as usize;
                 sbits &= sbits - 1;
-                self.words[w] = 0;
+                f(w);
+            }
+        }
+    }
+
+    /// Empties the set, touching only dirty words.
+    pub fn clear(&mut self) {
+        let words = self.mask.words_mut();
+        for (s, &sw) in self.summary.iter().enumerate() {
+            let mut sbits = sw;
+            while sbits != 0 {
+                let w = (s << 6) + sbits.trailing_zeros() as usize;
+                sbits &= sbits - 1;
+                words[w] = 0;
             }
         }
         self.summary.fill(0);
@@ -104,7 +144,7 @@ impl Iterator for FrontierIter<'_> {
             if self.sbits != 0 {
                 self.widx = (self.sidx << 6) + self.sbits.trailing_zeros() as usize;
                 self.sbits &= self.sbits - 1;
-                self.wbits = self.frontier.words[self.widx];
+                self.wbits = self.frontier.mask.words()[self.widx];
                 continue;
             }
             self.sidx += 1;
@@ -169,5 +209,40 @@ mod tests {
         assert_eq!(f.iter().count(), 0);
         f.insert(0);
         assert_eq!(f.iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn fill_matches_inserting_every_node() {
+        for n in [0, 1, 63, 64, 65, 4096, 4100, 5000] {
+            let mut bulk = Frontier::new(n);
+            bulk.fill();
+            let mut one_by_one = Frontier::new(n);
+            for v in 0..n {
+                one_by_one.insert(v);
+            }
+            assert_eq!(
+                bulk.iter().collect::<Vec<_>>(),
+                one_by_one.iter().collect::<Vec<_>>(),
+                "n={n}"
+            );
+            assert_eq!(bulk.mask(), one_by_one.mask(), "n={n}");
+            // Removal keeps the summary consistent after a bulk fill.
+            if n > 0 {
+                bulk.remove(n - 1);
+                assert_eq!(bulk.iter().count(), n - 1);
+            }
+            bulk.clear();
+            assert_eq!(bulk.iter().count(), 0);
+        }
+    }
+
+    #[test]
+    fn mask_view_matches_membership() {
+        let mut f = Frontier::new(130);
+        for v in [0, 64, 129] {
+            f.insert(v);
+        }
+        assert_eq!(f.mask().iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert_eq!(f.mask().count_ones(), 3);
     }
 }

@@ -59,6 +59,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod bitmask;
 pub mod frontier;
 pub mod message;
 pub mod metrics;
@@ -68,6 +69,7 @@ pub mod rng;
 pub mod simulator;
 pub mod transcript;
 
+pub use bitmask::BitMask;
 pub use frontier::Frontier;
 pub use message::{DecodeError, Message};
 pub use metrics::Metrics;

@@ -1,7 +1,7 @@
 //! The reference backend: a thin adapter over the CONGEST simulator.
 
 use crate::{divergence, BackendError, FlatAlgo, MisBackend};
-use arbmis_congest::{Simulator, Stepper};
+use arbmis_congest::{BitMask, Simulator, Stepper};
 use arbmis_core::protocols::{BoundedArbProtocol, LubyProtocol, MetivierProtocol, MisNodeState};
 use arbmis_graph::{Graph, NodeId};
 use arbmis_obs::{FlightRecorder, RoundRecord};
@@ -44,7 +44,7 @@ pub struct CongestBackend<'g> {
     full_scan: bool,
     flight: FlightRecorder,
     inner: Inner<'g>,
-    mis: Vec<bool>,
+    mis: BitMask,
     joiners: Vec<NodeId>,
 }
 
@@ -78,7 +78,7 @@ impl<'g> CongestBackend<'g> {
             full_scan: false,
             inner: build(g, seed, algo, false, &flight),
             flight,
-            mis: vec![false; g.n()],
+            mis: BitMask::new(g.n()),
             joiners: Vec::new(),
         }
     }
@@ -118,7 +118,7 @@ impl<'g> CongestBackend<'g> {
 impl MisBackend for CongestBackend<'_> {
     fn init(&mut self) {
         self.inner = build(self.g, self.seed, self.algo, self.full_scan, &self.flight);
-        self.mis.iter_mut().for_each(|b| *b = false);
+        self.mis.clear_all();
         self.joiners.clear();
     }
 
@@ -148,8 +148,8 @@ impl MisBackend for CongestBackend<'_> {
             st.states()
         });
         for (v, s) in states.iter().enumerate() {
-            if s.in_mis && !self.mis[v] {
-                self.mis[v] = true;
+            if s.in_mis && !self.mis.test(v) {
+                self.mis.set(v);
                 self.joiners.push(v);
             }
         }
@@ -178,7 +178,7 @@ impl MisBackend for CongestBackend<'_> {
         dispatch!(&self.inner, st => st.is_done())
     }
 
-    fn mis(&self) -> &[bool] {
+    fn mis(&self) -> &BitMask {
         &self.mis
     }
 

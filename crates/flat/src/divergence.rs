@@ -26,7 +26,7 @@ use crate::{BackendError, CongestBackend, FlatAlgo, FlatBackend, MisBackend, Sca
 use arbmis_congest::rng;
 use arbmis_core::{bounded_arb, luby, metivier, ArbParams};
 use arbmis_graph::digest::Fnv128;
-use arbmis_graph::{Graph, NodeId};
+use arbmis_graph::{Graph, NodeId, NodeOrder};
 use serde::{Deserialize, Serialize};
 
 /// Schema tag written into every replay artifact.
@@ -273,6 +273,12 @@ pub struct BackendSpec {
     pub scan: String,
     /// Injected perturbation (flat only).
     pub coin_flip: Option<CoinFlip>,
+    /// Flat execution layout (`"identity"` / `"degree"` / `"bfs"`),
+    /// layout-invisible by the DESIGN.md §13 contract but carried so a
+    /// replay exercises the exact engine configuration that diverged.
+    /// Absent in pre-layout artifacts (defaults to identity).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub order: Option<String>,
 }
 
 impl BackendSpec {
@@ -282,6 +288,7 @@ impl BackendSpec {
             kind: "flat".into(),
             scan: "auto".into(),
             coin_flip: None,
+            order: None,
         }
     }
 
@@ -291,6 +298,7 @@ impl BackendSpec {
             kind: "congest".into(),
             scan: "frontier".into(),
             coin_flip: None,
+            order: None,
         }
     }
 
@@ -301,14 +309,25 @@ impl BackendSpec {
         self
     }
 
+    /// Sets the flat execution layout (builder style).
+    #[must_use]
+    pub fn with_order(mut self, order: NodeOrder) -> Self {
+        self.order = Some(order.label().into());
+        self
+    }
+
     fn describe(&self) -> String {
-        match self.coin_flip {
-            None => format!("{} scan={}", self.kind, self.scan),
-            Some(f) => format!(
-                "{} scan={} coin_flip=node {} iter {} xor {:#x}",
-                self.kind, self.scan, f.node, f.iteration, f.xor
-            ),
+        let mut s = format!("{} scan={}", self.kind, self.scan);
+        if let Some(o) = &self.order {
+            s.push_str(&format!(" order={o}"));
         }
+        if let Some(f) = self.coin_flip {
+            s.push_str(&format!(
+                " coin_flip=node {} iter {} xor {:#x}",
+                f.node, f.iteration, f.xor
+            ));
+        }
+        s
     }
 }
 
@@ -481,6 +500,10 @@ impl ReplayArtifact {
                     other => return Err(format!("replay artifact: unknown flat scan {other:?}")),
                 };
                 let mut b = FlatBackend::new(g, self.seed, algo).with_scan(scan);
+                if let Some(o) = &spec.order {
+                    let order = NodeOrder::parse(o).map_err(|e| format!("replay artifact: {e}"))?;
+                    b = b.with_order(order);
+                }
                 if let Some(f) = spec.coin_flip {
                     b = b.with_coin_flip(f);
                 }

@@ -1,19 +1,45 @@
 //! The flat engine: MIS rounds as frontier sweeps over CSR adjacency.
 
 use crate::divergence::{self, CoinFlip};
-use crate::{BackendError, FlatAlgo, MisBackend, ScanMode, DENSE_FRACTION};
-use arbmis_congest::{rng, Frontier};
+use crate::{BackendError, FlatAlgo, MisBackend, ScanMode};
+use arbmis_congest::{execute_indexed, rng, BitMask, Frontier, Parallelism};
 use arbmis_core::{bounded_arb, luby, metivier, ArbParams};
-use arbmis_graph::{Graph, NodeId};
+use arbmis_graph::NodeId;
+use arbmis_graph::{Graph, NodeOrder, Permutation};
 use arbmis_obs::{FlightRecorder, Recorder, RoundRecord};
 
 /// Shared-memory replay of the CONGEST MIS protocols.
 ///
 /// No message objects: a round is one or two sweeps over the active set,
-/// reading neighbor flags straight out of flat arrays. The sweep walks
-/// either the [`Frontier`] bitset (sparse) or `0..n` (dense), chosen per
-/// round from the active-set density — both directions visit nodes in
-/// ascending order, so the execution is identical either way.
+/// reading neighbor flags straight out of word-packed [`BitMask`]es —
+/// a neighbor probe costs 1 bit of an `n/8`-byte array, and dense
+/// sweeps walk 64 nodes per word via `trailing_zeros`. The sweep reads
+/// either the two-level [`Frontier`] (sparse: summary-skipping) or its
+/// flat word array (dense), chosen per round from the active-set
+/// density — both directions visit the active nodes in ascending order,
+/// so the execution is identical either way.
+///
+/// # Layout independence (DESIGN.md §13)
+///
+/// With [`with_order`](FlatBackend::with_order), the engine scans a
+/// *relabeled* copy of the CSR (hubs-first or BFS-clustered) for cache
+/// locality, but every coin draw is keyed by the **original** node id,
+/// every tie-break compares original ids, and joiners are mapped back
+/// to original ids (and re-sorted) before they are reported. The
+/// permutation is an execution detail: joiner sets, round counts, the
+/// final MIS, and all flight-record digests are byte-identical to the
+/// unpermuted run.
+///
+/// # Deterministic parallelism
+///
+/// With [`with_threads`](FlatBackend::with_threads)` > 1`, decide and
+/// bad-exit sweeps fan out over word-aligned chunks on the
+/// [`execute_indexed`] work-stealing pool. Each chunk collects its
+/// winners in ascending order into a private buffer; buffers are
+/// concatenated in chunk index order (= ascending node order), so the
+/// result is bit-identical to the serial sweep at every thread count —
+/// the same contract the CONGEST parallel engine keeps. Only the
+/// single-threaded path is steady-state alloc-free.
 ///
 /// Randomness is the counter-pure [`rng`] keyed by
 /// `(seed, node, iteration, tag)`, the same draws the CONGEST protocols
@@ -24,6 +50,11 @@ pub struct FlatBackend<'g> {
     seed: u64,
     algo: FlatAlgo,
     scan: ScanMode,
+    order: NodeOrder,
+    /// Relabeled execution layout; `None` runs directly on `g`.
+    layout: Option<Box<Layout>>,
+    /// Worker threads for the parallel sweep path (1 = serial).
+    threads: usize,
     recorder: Recorder,
     flight: FlightRecorder,
     /// Injected single-coin perturbation (divergence drills); `None` in
@@ -35,22 +66,35 @@ pub struct FlatBackend<'g> {
     round: u64,
     /// Nodes that have not yet halted (the simulator's `pending`).
     unfinished: usize,
-    active: Vec<bool>,
-    in_mis: Vec<bool>,
-    bad: Vec<bool>,
-    /// `active_deg[v]` = number of active neighbors of `v`, maintained
-    /// incrementally: deactivating a node decrements all its neighbors.
-    active_deg: Vec<u32>,
-    frontier: Frontier,
+    /// Active set in layout positions; its inner mask doubles as the
+    /// dense word-sweep and the parallel chunking substrate.
+    active: Frontier,
     active_count: usize,
-    /// Per-iteration priority scratch (Métivier / BoundedArb). Stale for
-    /// inactive nodes — always gate reads on `active`.
+    /// MIS membership, **original** id space (write-only in hot loops).
+    in_mis: BitMask,
+    /// Bad set (BoundedArb exiles), **original** id space.
+    bad: BitMask,
+    /// `active_deg[p]` = number of active neighbors of position `p`,
+    /// maintained incrementally: deactivating decrements all neighbors.
+    active_deg: Vec<u32>,
+    /// Per-iteration priority scratch (Métivier / BoundedArb), layout
+    /// positions. Stale for inactive nodes — reads are gated on active.
     prio: Vec<u64>,
-    /// Per-iteration mark scratch (Luby). Stale for inactive nodes.
-    marked: Vec<bool>,
-    /// Winners of the current iteration, ascending.
+    /// Per-iteration mark scratch (Luby), layout positions. Stale for
+    /// inactive nodes.
+    marked: BitMask,
+    /// `64 - priority_bits(n)`, hoisted: [`rng::draw_priority`]
+    /// recomputes a floating-point `⌈log₂ n⌉` on every draw, which the
+    /// fill sweep would otherwise pay per active node per iteration.
+    prio_shift: u32,
+    /// Whether the protocol ever reads `active_deg` (Luby's mark
+    /// probability and keys, BoundedArb's ρ_k cutoff and bad exits).
+    /// Métivier does not, so its exit path skips degree maintenance —
+    /// see [`deactivate_in`].
+    track_deg: bool,
+    /// Winners of the current iteration, ascending layout positions.
     wins: Vec<NodeId>,
-    /// Joiners of the last executed round, ascending.
+    /// Joiners of the last executed round, ascending **original** ids.
     joiners: Vec<NodeId>,
     /// Deactivated but not yet halted: in the simulator these nodes halt
     /// at their next announce-type round; we retire them there so round
@@ -58,33 +102,79 @@ pub struct FlatBackend<'g> {
     retiring: Vec<NodeId>,
     /// Scratch for bad-exit violators (snapshot before exiling).
     removals: Vec<NodeId>,
+    /// Per-chunk winner buffers for the parallel sweep, reused across
+    /// rounds.
+    chunk_bufs: Vec<Vec<NodeId>>,
     obs_flushed: bool,
 }
 
-/// Visits every active node in ascending order, dense or sparse.
-fn sweep(
-    scan: ScanMode,
-    n: usize,
-    frontier: &Frontier,
-    active: &[bool],
-    active_count: usize,
-    mut f: impl FnMut(NodeId),
-) {
-    let dense = match scan {
-        ScanMode::Dense => true,
-        ScanMode::Sparse => false,
-        ScanMode::Auto => active_count * DENSE_FRACTION >= n,
-    };
+/// A cache-aware execution layout: the permutation and the relabeled
+/// CSR the hot loops actually scan.
+struct Layout {
+    perm: Permutation,
+    pg: Graph,
+}
+
+/// Visits every active node in ascending order, dense (flat word walk)
+/// or sparse (summary-skipping frontier walk).
+fn sweep(dense: bool, frontier: &Frontier, mut f: impl FnMut(NodeId)) {
     if dense {
-        for (v, &a) in active.iter().enumerate() {
-            if a {
-                f(v);
-            }
+        for v in frontier.mask().iter() {
+            f(v);
         }
     } else {
         for v in frontier.iter() {
             f(v);
         }
+    }
+}
+
+/// Removes position `v` from the active set: clears the frontier bit,
+/// decrements every neighbor's active degree (when the protocol reads
+/// degrees at all), and queues `v` to halt at the next announce-type
+/// round. Free function over the split-off fields so callers can hold
+/// the execution graph across calls.
+///
+/// `track_deg = false` skips the decrement loop — over a run it is 2m
+/// random u32 read-modify-writes, the single largest memory cost of the
+/// exit path at large n, and Métivier never reads `active_deg`.
+fn deactivate_in(
+    eg: &Graph,
+    active: &mut Frontier,
+    active_count: &mut usize,
+    active_deg: &mut [u32],
+    retiring: &mut Vec<NodeId>,
+    track_deg: bool,
+    v: NodeId,
+) {
+    debug_assert!(active.contains(v));
+    active.remove(v);
+    *active_count -= 1;
+    retiring.push(v);
+    if track_deg {
+        for &u in eg.neighbors(v) {
+            active_deg[u] -= 1;
+        }
+    }
+}
+
+/// Shared pointer for disjoint-range parallel writes. Each chunk of the
+/// parallel sweep writes only indices inside its own word-aligned
+/// node range (or only its own per-chunk buffer slot), so no two
+/// workers ever touch the same element or the same backing word.
+struct ShardPtr<T>(*mut T);
+unsafe impl<T: Send> Send for ShardPtr<T> {}
+unsafe impl<T: Send> Sync for ShardPtr<T> {}
+
+impl<T> ShardPtr<T> {
+    /// Pointer to element `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds, and no other thread may access element
+    /// `i` (or, for sub-word bit writes, its backing word) concurrently.
+    unsafe fn at(&self, i: usize) -> *mut T {
+        self.0.add(i)
     }
 }
 
@@ -97,24 +187,29 @@ impl<'g> FlatBackend<'g> {
             seed,
             algo,
             scan: ScanMode::Auto,
+            order: NodeOrder::Identity,
+            layout: None,
+            threads: 1,
             recorder: arbmis_obs::global(),
             flight: arbmis_obs::global_flight(),
             coin_flip: None,
             last_dense: None,
             round: 0,
             unfinished: 0,
-            active: vec![false; n],
-            in_mis: vec![false; n],
-            bad: vec![false; n],
-            active_deg: vec![0; n],
-            frontier: Frontier::new(n),
+            active: Frontier::new(n),
             active_count: 0,
+            in_mis: BitMask::new(n),
+            bad: BitMask::new(n),
+            active_deg: vec![0; n],
             prio: vec![0; n],
-            marked: vec![false; n],
+            marked: BitMask::new(n),
+            prio_shift: 64 - rng::priority_bits(n),
+            track_deg: !matches!(algo, FlatAlgo::Metivier),
             wins: Vec::new(),
             joiners: Vec::new(),
             retiring: Vec::new(),
             removals: Vec::new(),
+            chunk_bufs: Vec::new(),
             obs_flushed: false,
         };
         b.reset();
@@ -125,6 +220,32 @@ impl<'g> FlatBackend<'g> {
     #[must_use]
     pub fn with_scan(mut self, scan: ScanMode) -> Self {
         self.scan = scan;
+        self
+    }
+
+    /// Scans in `order`'s layout (default [`NodeOrder::Identity`]).
+    /// Purely an execution detail: joiners, rounds, and the MIS are
+    /// byte-identical across orders (see the type-level docs).
+    #[must_use]
+    pub fn with_order(mut self, order: NodeOrder) -> Self {
+        self.order = order;
+        self.layout = match order {
+            NodeOrder::Identity => None,
+            _ => {
+                let perm = order.permutation(self.g);
+                let pg = self.g.relabel(&perm);
+                Some(Box::new(Layout { perm, pg }))
+            }
+        };
+        self.reset();
+        self
+    }
+
+    /// Worker threads for the deterministic parallel sweep (default 1 =
+    /// serial; results are bit-identical at every count).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -156,14 +277,23 @@ impl<'g> FlatBackend<'g> {
         self
     }
 
-    /// Residual active mask (nonempty only for BoundedArb, whose output
-    /// is not maximal).
-    pub fn active(&self) -> &[bool] {
-        &self.active
+    /// The node order this backend scans in.
+    pub fn order(&self) -> NodeOrder {
+        self.order
     }
 
-    /// Bad-set mask (BoundedArb's exiled nodes).
-    pub fn bad(&self) -> &[bool] {
+    /// Whether **original** node `v` is still active (nonempty at
+    /// termination only for BoundedArb, whose output is not maximal).
+    pub fn is_active(&self, v: NodeId) -> bool {
+        let pos = match &self.layout {
+            Some(l) => l.perm.new_of(v),
+            None => v,
+        };
+        self.active.contains(pos)
+    }
+
+    /// Bad-set mask (BoundedArb's exiled nodes), original id space.
+    pub fn bad(&self) -> &BitMask {
         &self.bad
     }
 
@@ -172,44 +302,53 @@ impl<'g> FlatBackend<'g> {
         self.active_count
     }
 
+    /// Word-aligned chunk bounds over the layout's word array, as
+    /// `(word_lo, word_hi)` ranges. Word alignment makes per-chunk bit
+    /// writes race-free; the chunk geometry never affects results (each
+    /// chunk's output is ascending and chunks concatenate in order).
+    fn word_chunk_bounds(&self) -> Vec<(usize, usize)> {
+        let words = self.g.n().div_ceil(64);
+        let chunks = (self.threads * 4).clamp(1, words.max(1));
+        (0..chunks)
+            .map(|i| (i * words / chunks, (i + 1) * words / chunks))
+            .collect()
+    }
+
+    /// Grows the per-chunk winner buffers to `len` slots.
+    fn ensure_chunk_bufs(&mut self, len: usize) {
+        if self.chunk_bufs.len() < len {
+            self.chunk_bufs.resize_with(len, Vec::new);
+        }
+    }
+
     /// Alloc-free rewind to round 0.
     fn reset(&mut self) {
-        let g = self.g;
-        let n = g.n();
+        let n = self.g.n();
         self.round = 0;
         self.unfinished = n;
         self.active_count = n;
         self.obs_flushed = false;
         self.last_dense = None;
-        self.frontier.clear();
+        self.active.fill();
+        self.in_mis.clear_all();
+        self.bad.clear_all();
+        self.marked.clear_all();
         self.wins.clear();
         self.joiners.clear();
         self.retiring.clear();
         self.removals.clear();
-        for v in 0..n {
-            self.active[v] = true;
-            self.in_mis[v] = false;
-            self.bad[v] = false;
-            self.active_deg[v] = g.degree(v) as u32;
-            self.prio[v] = 0;
-            self.marked[v] = false;
-            self.frontier.insert(v);
+        let eg = match &self.layout {
+            Some(l) => &l.pg,
+            None => self.g,
+        };
+        if self.track_deg {
+            for (p, d) in self.active_deg.iter_mut().enumerate() {
+                *d = eg.degree(p) as u32;
+            }
         }
-    }
-
-    /// Removes `v` from the active set: clears the frontier bit,
-    /// decrements every neighbor's active degree, and queues `v` to halt
-    /// at the next announce-type round.
-    fn deactivate(&mut self, v: NodeId) {
-        debug_assert!(self.active[v]);
-        self.active[v] = false;
-        self.frontier.remove(v);
-        self.active_count -= 1;
-        self.retiring.push(v);
-        let g = self.g;
-        for &u in g.neighbors(v) {
-            self.active_deg[u] -= 1;
-        }
+        // `prio` is intentionally left stale: every decide round writes
+        // the priority of each active node before any read. `active_deg`
+        // is likewise stale when the protocol never reads it.
     }
 
     /// Announce-type round: nodes deactivated since the previous one
@@ -219,157 +358,376 @@ impl<'g> FlatBackend<'g> {
         self.retiring.clear();
     }
 
-    /// Métivier decide: `(priority, id)`-maximal among active neighbors.
-    fn decide_metivier(&mut self, iter: u64) {
-        let g = self.g;
-        let n = g.n();
+    /// Phase 1 of a priority decide: draw every active node's priority,
+    /// keyed by **original** id. `competitive` gates the ρ_k opt-out
+    /// (BoundedArb); pass `None` for an unconditional draw.
+    fn fill_prio(&mut self, tag: u64, iter: u64, rho: Option<f64>) {
         let seed = self.seed;
-        let scan = self.scan;
-        let count = self.active_count;
-        let flip = self.coin_flip;
-        self.wins.clear();
+        let shift = self.prio_shift;
+        let dense = self.scan.is_dense(self.active_count, self.g.n());
+        let threads = self.threads;
+        let bounds = if threads > 1 {
+            self.word_chunk_bounds()
+        } else {
+            Vec::new()
+        };
         let Self {
-            frontier,
-            active,
-            prio,
-            wins,
-            ..
-        } = self;
-        sweep(scan, n, frontier, active, count, |v| {
-            prio[v] = rng::draw_priority(seed, v, iter, metivier::TAG_PRIORITY, n);
-        });
-        if let Some(f) = flip {
-            if f.iteration == iter && f.node < n && active[f.node] {
-                prio[f.node] = (prio[f.node] ^ f.xor) | 1;
-            }
-        }
-        let (active, prio) = (&active[..], &prio[..]);
-        sweep(scan, n, frontier, active, count, |v| {
-            let pv = (prio[v], v);
-            if g.neighbors(v)
-                .iter()
-                .all(|&u| !active[u] || pv > (prio[u], u))
-            {
-                wins.push(v);
-            }
-        });
-    }
-
-    /// Luby decide: marked with `P = 1/2d`, `(degree, id)`-maximal among
-    /// marked active neighbors; degree-0 nodes join outright.
-    fn decide_luby(&mut self, iter: u64) {
-        let g = self.g;
-        let n = g.n();
-        let seed = self.seed;
-        let scan = self.scan;
-        let count = self.active_count;
-        let flip = self.coin_flip;
-        self.wins.clear();
-        let Self {
-            frontier,
+            layout,
             active,
             active_deg,
-            marked,
-            wins,
+            prio,
             ..
         } = self;
-        sweep(scan, n, frontier, active, count, |v| {
-            let d = active_deg[v] as usize;
-            marked[v] = d > 0 && luby::is_marked(seed, v, iter, d);
-        });
-        if let Some(f) = flip {
-            if f.iteration == iter && f.xor != 0 && f.node < n && active[f.node] {
-                let d = active_deg[f.node];
-                if d > 0 {
-                    marked[f.node] = !marked[f.node];
+        let to_old = layout.as_deref().map(|l| l.perm.to_old());
+        let deg = &active_deg[..];
+        let draw = |p: NodeId| {
+            let old = to_old.map_or(p, |t| t[p]);
+            let competitive = rho.is_none_or(|r| f64::from(deg[p]) <= r);
+            if competitive {
+                // `draw_priority` with the `priority_bits(n)` shift
+                // hoisted out of the per-node loop (identical value).
+                (rng::draw(seed, old, iter, tag) >> shift) | 1
+            } else {
+                0
+            }
+        };
+        if threads > 1 {
+            let mask = active.mask();
+            let ptr = ShardPtr(prio.as_mut_ptr());
+            execute_indexed(bounds.len(), Parallelism::Threads(threads), |_w, c| {
+                let (wlo, whi) = bounds[c];
+                for p in mask.iter_words(wlo, whi) {
+                    // SAFETY: `p` lies in chunk `c`'s word range, and
+                    // chunk ranges are disjoint.
+                    unsafe { *ptr.at(p) = draw(p) };
+                }
+            });
+        } else {
+            sweep(dense, active, |p| prio[p] = draw(p));
+        }
+    }
+
+    /// Applies an injected priority coin flip (original-id keyed) after
+    /// phase 1.
+    fn apply_prio_flip(&mut self, iter: u64) {
+        if let Some(f) = self.coin_flip {
+            if f.iteration == iter && f.node < self.g.n() {
+                let pos = match &self.layout {
+                    Some(l) => l.perm.new_of(f.node),
+                    None => f.node,
+                };
+                if self.active.contains(pos) {
+                    self.prio[pos] = (self.prio[pos] ^ f.xor) | 1;
                 }
             }
         }
-        let (active, active_deg, marked) = (&active[..], &active_deg[..], &marked[..]);
-        sweep(scan, n, frontier, active, count, |v| {
-            let d = active_deg[v];
-            let win = if d == 0 {
-                true
-            } else if marked[v] {
-                let key = (u64::from(d), v);
-                g.neighbors(v)
-                    .iter()
-                    .all(|&u| !active[u] || !marked[u] || (u64::from(active_deg[u]), u) < key)
-            } else {
-                false
+    }
+
+    /// Phase 2 of a priority decide: winners are `(priority, original
+    /// id)`-maximal among active neighbors; priority 0 (the ρ_k
+    /// opt-out) never wins. Métivier priorities are never 0 (the low
+    /// bit is forced), so the same scan serves both protocols.
+    ///
+    /// Both paths are short-circuiting `all` scans: with i.i.d.
+    /// priorities, a node expects to find a beating neighbor within a
+    /// couple of probes, so per-node work is far below `deg(p)` — this
+    /// beats any full-per-edge scheme despite reading each edge from
+    /// both sides. The parallel path splits the active words into
+    /// disjoint chunks that each decide their own nodes (read-only
+    /// shared state, no cross-chunk writes), so concatenating the
+    /// per-chunk buffers in chunk order yields the serial winner list
+    /// bit for bit.
+    fn prio_win_scan(&mut self) {
+        self.wins.clear();
+        if self.threads > 1 {
+            let bounds = self.word_chunk_bounds();
+            self.ensure_chunk_bufs(bounds.len());
+            let Self {
+                g,
+                layout,
+                active,
+                prio,
+                chunk_bufs,
+                ..
+            } = self;
+            let (eg, to_old) = match layout.as_deref() {
+                Some(l) => (&l.pg, Some(l.perm.to_old())),
+                None => (*g, None),
             };
-            if win {
-                wins.push(v);
+            let old = |p: NodeId| to_old.map_or(p, |t| t[p]);
+            let mask = active.mask();
+            let prio = &prio[..];
+            let bufs = ShardPtr(chunk_bufs.as_mut_ptr());
+            execute_indexed(bounds.len(), Parallelism::Threads(self.threads), |_w, c| {
+                // SAFETY: chunk `c` exclusively owns `chunk_bufs[c]`.
+                let buf = unsafe { &mut *bufs.at(c) };
+                buf.clear();
+                let (wlo, whi) = bounds[c];
+                for p in mask.iter_words(wlo, whi) {
+                    let pv = prio[p];
+                    if pv == 0 {
+                        continue;
+                    }
+                    let key = (pv, old(p));
+                    if eg
+                        .neighbors(p)
+                        .iter()
+                        .all(|&u| !mask.test(u) || key > (prio[u], old(u)))
+                    {
+                        buf.push(p);
+                    }
+                }
+            });
+            for c in 0..bounds.len() {
+                self.wins.extend_from_slice(&self.chunk_bufs[c]);
             }
-        });
+        } else {
+            let dense = self.scan.is_dense(self.active_count, self.g.n());
+            let Self {
+                g,
+                layout,
+                active,
+                prio,
+                wins,
+                ..
+            } = self;
+            let (eg, to_old) = match layout.as_deref() {
+                Some(l) => (&l.pg, Some(l.perm.to_old())),
+                None => (*g, None),
+            };
+            let old = |p: NodeId| to_old.map_or(p, |t| t[p]);
+            let prio = &prio[..];
+            sweep(dense, active, |p| {
+                let pv = prio[p];
+                if pv == 0 {
+                    return;
+                }
+                let key = (pv, old(p));
+                if eg
+                    .neighbors(p)
+                    .iter()
+                    .all(|&u| !active.contains(u) || key > (prio[u], old(u)))
+                {
+                    wins.push(p);
+                }
+            });
+        }
+    }
+
+    /// Métivier decide: `(priority, original id)`-maximal among active
+    /// neighbors.
+    fn decide_metivier(&mut self, iter: u64) {
+        self.fill_prio(metivier::TAG_PRIORITY, iter, None);
+        self.apply_prio_flip(iter);
+        self.prio_win_scan();
     }
 
     /// BoundedArb decide: Métivier with priority 0 (opt-out) above the
     /// ρ_k cutoff; priority-0 nodes never win.
     fn decide_arb(&mut self, params: &ArbParams, rho_cutoff: bool, scale: u32, iter: u64) {
-        let g = self.g;
-        let n = g.n();
-        let seed = self.seed;
-        let scan = self.scan;
-        let count = self.active_count;
-        let rho = params.rho(scale);
-        let flip = self.coin_flip;
-        self.wins.clear();
-        let Self {
-            frontier,
-            active,
-            active_deg,
-            prio,
-            wins,
-            ..
-        } = self;
-        let deg = &active_deg[..];
-        sweep(scan, n, frontier, active, count, |v| {
-            let competitive = !rho_cutoff || f64::from(deg[v]) <= rho;
-            prio[v] = if competitive {
-                rng::draw_priority(seed, v, iter, bounded_arb::TAG_PRIORITY, n)
-            } else {
-                0
-            };
-        });
-        if let Some(f) = flip {
-            if f.iteration == iter && f.node < n && active[f.node] {
-                prio[f.node] = (prio[f.node] ^ f.xor) | 1;
-            }
-        }
-        let (active, prio) = (&active[..], &prio[..]);
-        sweep(scan, n, frontier, active, count, |v| {
-            let p = prio[v];
-            if p == 0 {
-                return;
-            }
-            let pv = (p, v);
-            if g.neighbors(v)
-                .iter()
-                .all(|&u| !active[u] || pv > (prio[u], u))
-            {
-                wins.push(v);
-            }
-        });
+        let rho = rho_cutoff.then(|| params.rho(scale));
+        self.fill_prio(bounded_arb::TAG_PRIORITY, iter, rho);
+        self.apply_prio_flip(iter);
+        self.prio_win_scan();
     }
 
-    /// Exit round: winners join the MIS; winners and their dominated
-    /// active neighbors leave the active set.
-    fn exit_step(&mut self) {
-        let g = self.g;
-        let mut wins = std::mem::take(&mut self.wins);
-        for &w in &wins {
-            self.in_mis[w] = true;
-            self.deactivate(w);
-            for &u in g.neighbors(w) {
-                if self.active[u] {
-                    self.deactivate(u);
+    /// Luby decide: marked with `P = 1/2d`, `(degree, original id)`-
+    /// maximal among marked active neighbors; degree-0 nodes join
+    /// outright. Same short-circuit / chunked structure as the priority
+    /// scan, with the mark bit standing in for a nonzero priority.
+    fn decide_luby(&mut self, iter: u64) {
+        let n = self.g.n();
+        let seed = self.seed;
+        let flip = self.coin_flip;
+        let dense = self.scan.is_dense(self.active_count, n);
+        let threads = self.threads;
+        let bounds = if threads > 1 {
+            self.word_chunk_bounds()
+        } else {
+            Vec::new()
+        };
+        // Phase 1: mark flips, keyed by original id.
+        {
+            let Self {
+                layout,
+                active,
+                active_deg,
+                marked,
+                ..
+            } = self;
+            let to_old = layout.as_deref().map(|l| l.perm.to_old());
+            let deg = &active_deg[..];
+            let mark = |p: NodeId| {
+                let d = deg[p] as usize;
+                let old = to_old.map_or(p, |t| t[p]);
+                d > 0 && luby::is_marked(seed, old, iter, d)
+            };
+            if threads > 1 {
+                let mask = active.mask();
+                let ptr = ShardPtr(marked.words_mut().as_mut_ptr());
+                execute_indexed(bounds.len(), Parallelism::Threads(threads), |_w, c| {
+                    let (wlo, whi) = bounds[c];
+                    for p in mask.iter_words(wlo, whi) {
+                        let bit = 1u64 << (p & 63);
+                        // SAFETY: word `p >> 6` lies in chunk `c`'s
+                        // word range, and chunk ranges are disjoint, so
+                        // this read-modify-write is unshared.
+                        unsafe {
+                            let w = ptr.at(p >> 6);
+                            if mark(p) {
+                                *w |= bit;
+                            } else {
+                                *w &= !bit;
+                            }
+                        }
+                    }
+                });
+            } else {
+                sweep(dense, active, |p| {
+                    if mark(p) {
+                        marked.set(p);
+                    } else {
+                        marked.clear(p);
+                    }
+                });
+            }
+        }
+        if let Some(f) = flip {
+            if f.iteration == iter && f.xor != 0 && f.node < n {
+                let pos = match &self.layout {
+                    Some(l) => l.perm.new_of(f.node),
+                    None => f.node,
+                };
+                if self.active.contains(pos) && self.active_deg[pos] > 0 {
+                    if self.marked.test(pos) {
+                        self.marked.clear(pos);
+                    } else {
+                        self.marked.set(pos);
+                    }
                 }
             }
         }
-        // Swap the buffers: `joiners` takes this round's winners, the
-        // old joiner buffer becomes next iteration's `wins` scratch.
-        std::mem::swap(&mut self.joiners, &mut wins);
+        // Phase 2: competition among marked nodes.
+        self.wins.clear();
+        if threads > 1 {
+            self.ensure_chunk_bufs(bounds.len());
+            let Self {
+                g,
+                layout,
+                active,
+                active_deg,
+                marked,
+                chunk_bufs,
+                ..
+            } = self;
+            let (eg, to_old) = match layout.as_deref() {
+                Some(l) => (&l.pg, Some(l.perm.to_old())),
+                None => (*g, None),
+            };
+            let old = |p: NodeId| to_old.map_or(p, |t| t[p]);
+            let mask = active.mask();
+            let (deg, marked) = (&active_deg[..], &*marked);
+            let bufs = ShardPtr(chunk_bufs.as_mut_ptr());
+            execute_indexed(bounds.len(), Parallelism::Threads(threads), |_w, c| {
+                // SAFETY: chunk `c` exclusively owns `chunk_bufs[c]`.
+                let buf = unsafe { &mut *bufs.at(c) };
+                buf.clear();
+                let (wlo, whi) = bounds[c];
+                for p in mask.iter_words(wlo, whi) {
+                    let d = deg[p];
+                    let win = if d == 0 {
+                        true
+                    } else if marked.test(p) {
+                        let key = (u64::from(d), old(p));
+                        eg.neighbors(p).iter().all(|&u| {
+                            !mask.test(u) || !marked.test(u) || (u64::from(deg[u]), old(u)) < key
+                        })
+                    } else {
+                        false
+                    };
+                    if win {
+                        buf.push(p);
+                    }
+                }
+            });
+            for c in 0..bounds.len() {
+                self.wins.extend_from_slice(&self.chunk_bufs[c]);
+            }
+        } else {
+            let Self {
+                g,
+                layout,
+                active,
+                active_deg,
+                marked,
+                wins,
+                ..
+            } = self;
+            let (eg, to_old) = match layout.as_deref() {
+                Some(l) => (&l.pg, Some(l.perm.to_old())),
+                None => (*g, None),
+            };
+            let old = |p: NodeId| to_old.map_or(p, |t| t[p]);
+            let (deg, marked) = (&active_deg[..], &*marked);
+            sweep(dense, active, |p| {
+                let d = deg[p];
+                let win = if d == 0 {
+                    true
+                } else if marked.test(p) {
+                    let key = (u64::from(d), old(p));
+                    eg.neighbors(p).iter().all(|&u| {
+                        !active.contains(u) || !marked.test(u) || (u64::from(deg[u]), old(u)) < key
+                    })
+                } else {
+                    false
+                };
+                if win {
+                    wins.push(p);
+                }
+            });
+        }
+    }
+
+    /// Exit round: winners join the MIS; winners and their dominated
+    /// active neighbors leave the active set. Joiners are reported in
+    /// **original** ids, re-sorted when a layout reordered the wins.
+    fn exit_step(&mut self) {
+        let wins = std::mem::take(&mut self.wins);
+        {
+            let Self {
+                g,
+                layout,
+                active,
+                active_count,
+                active_deg,
+                retiring,
+                in_mis,
+                track_deg,
+                ..
+            } = self;
+            let track_deg = *track_deg;
+            let (eg, to_old) = match layout.as_deref() {
+                Some(l) => (&l.pg, Some(l.perm.to_old())),
+                None => (*g, None),
+            };
+            for &w in &wins {
+                in_mis.set(to_old.map_or(w, |t| t[w]));
+                deactivate_in(eg, active, active_count, active_deg, retiring, track_deg, w);
+                for &u in eg.neighbors(w) {
+                    if active.contains(u) {
+                        deactivate_in(eg, active, active_count, active_deg, retiring, track_deg, u);
+                    }
+                }
+            }
+            self.joiners.clear();
+            match to_old {
+                None => self.joiners.extend_from_slice(&wins),
+                Some(t) => {
+                    self.joiners.extend(wins.iter().map(|&w| t[w]));
+                    self.joiners.sort_unstable();
+                }
+            }
+        }
         self.wins = wins;
     }
 
@@ -379,40 +737,98 @@ impl<'g> FlatBackend<'g> {
     /// protocol (every node judges the degrees announced one round
     /// earlier).
     fn bad_exits(&mut self, params: &ArbParams, scale: u32) {
-        let g = self.g;
-        let n = g.n();
-        let scan = self.scan;
-        let count = self.active_count;
+        let n = self.g.n();
+        let dense = self.scan.is_dense(self.active_count, n);
         let hd = params.high_degree_threshold(scale);
         let bad_thr = params.bad_threshold(scale);
+        let threads = self.threads;
         self.removals.clear();
-        {
+        let violates = |eg: &Graph, mask: &BitMask, deg: &[u32], p: NodeId| {
+            let mut high = 0u64;
+            for &u in eg.neighbors(p) {
+                if mask.test(u) && f64::from(deg[u]) > hd {
+                    high += 1;
+                }
+            }
+            high as f64 > bad_thr
+        };
+        if threads > 1 {
+            let bounds = self.word_chunk_bounds();
+            self.ensure_chunk_bufs(bounds.len());
+            {
+                let Self {
+                    g,
+                    layout,
+                    active,
+                    active_deg,
+                    chunk_bufs,
+                    ..
+                } = self;
+                let eg = match layout.as_deref() {
+                    Some(l) => &l.pg,
+                    None => *g,
+                };
+                let mask = active.mask();
+                let deg = &active_deg[..];
+                let bufs = ShardPtr(chunk_bufs.as_mut_ptr());
+                execute_indexed(bounds.len(), Parallelism::Threads(threads), |_w, c| {
+                    // SAFETY: chunk `c` exclusively owns `chunk_bufs[c]`.
+                    let buf = unsafe { &mut *bufs.at(c) };
+                    buf.clear();
+                    let (wlo, whi) = bounds[c];
+                    for p in mask.iter_words(wlo, whi) {
+                        if violates(eg, mask, deg, p) {
+                            buf.push(p);
+                        }
+                    }
+                });
+            }
+            for c in 0..bounds.len() {
+                self.removals.extend_from_slice(&self.chunk_bufs[c]);
+            }
+        } else {
             let Self {
-                frontier,
+                g,
+                layout,
                 active,
                 active_deg,
                 removals,
                 ..
             } = self;
-            let (active, deg) = (&active[..], &active_deg[..]);
-            sweep(scan, n, frontier, active, count, |v| {
-                let mut high = 0u64;
-                for &u in g.neighbors(v) {
-                    if active[u] && f64::from(deg[u]) > hd {
-                        high += 1;
-                    }
-                }
-                if high as f64 > bad_thr {
-                    removals.push(v);
+            let eg = match layout.as_deref() {
+                Some(l) => &l.pg,
+                None => *g,
+            };
+            let deg = &active_deg[..];
+            sweep(dense, active, |p| {
+                if violates(eg, active.mask(), deg, p) {
+                    removals.push(p);
                 }
             });
         }
-        let mut removals = std::mem::take(&mut self.removals);
-        for &v in &removals {
-            self.bad[v] = true;
-            self.deactivate(v);
+        let removals = std::mem::take(&mut self.removals);
+        {
+            let Self {
+                g,
+                layout,
+                active,
+                active_count,
+                active_deg,
+                retiring,
+                bad,
+                ..
+            } = self;
+            let (eg, to_old) = match layout.as_deref() {
+                Some(l) => (&l.pg, Some(l.perm.to_old())),
+                None => (*g, None),
+            };
+            for &p in &removals {
+                bad.set(to_old.map_or(p, |t| t[p]));
+                // Bad exits only happen under BoundedArb, which always
+                // tracks degrees.
+                deactivate_in(eg, active, active_count, active_deg, retiring, true, p);
+            }
         }
-        removals.clear();
         self.removals = removals;
     }
 
@@ -475,15 +891,13 @@ impl MisBackend for FlatBackend<'_> {
     fn step_round(&mut self) -> Result<(), BackendError> {
         debug_assert!(!self.is_done(), "step_round called after completion");
         let entering = self.active_count;
-        // Effective sweep density for this round. Sweeps never change the
-        // active set mid-round (only exit/bad-exit steps shrink it, and
-        // they run after their sweeps), so the density chosen at round
-        // entry is the one every sweep in the round uses.
-        let dense = match self.scan {
-            ScanMode::Dense => true,
-            ScanMode::Sparse => false,
-            ScanMode::Auto => entering * DENSE_FRACTION >= self.g.n(),
-        };
+        // The single density decision for this round (ScanMode::is_dense
+        // is the one shared derivation — the flight-row label and every
+        // sweep agree by construction). Sweeps never change the active
+        // set mid-round (only exit/bad-exit steps shrink it, and they
+        // run after their sweeps), so the density chosen at round entry
+        // is the one every sweep in the round uses.
+        let dense = self.scan.is_dense(entering, self.g.n());
         if self.recorder.enabled() {
             self.recorder
                 .observe("flat_round_frontier", entering as u64);
@@ -493,14 +907,15 @@ impl MisBackend for FlatBackend<'_> {
         }
         self.last_dense = Some(dense);
         // Coin digest of the round about to execute (needs the active
-        // set *entering* the round). Pure RNG replay — observation only.
+        // set *entering* the round, in original id space). Pure RNG
+        // replay — observation only.
         let coin_digest = if self.flight.enabled() {
             divergence::coin_digest(
                 &self.algo,
                 self.seed,
                 self.g.n(),
                 self.round,
-                |v| self.active[v],
+                |v| self.is_active(v),
                 self.coin_flip,
             )
         } else {
@@ -544,7 +959,7 @@ impl MisBackend for FlatBackend<'_> {
         self.unfinished == 0
     }
 
-    fn mis(&self) -> &[bool] {
+    fn mis(&self) -> &BitMask {
         &self.in_mis
     }
 

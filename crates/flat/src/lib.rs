@@ -14,11 +14,15 @@
 //! * [`CongestBackend`] — a thin adapter over the simulator's
 //!   [`arbmis_congest::Stepper`], stepping one CONGEST round at a time
 //!   and diffing node states to report joiners.
-//! * [`FlatBackend`] — the flat engine: per-node `active` / `in_mis` /
-//!   `bad` flags, incrementally-maintained active degrees, and a
-//!   two-level bitset frontier ([`arbmis_congest::Frontier`]) swept
-//!   either sparsely (frontier iteration) or densely (linear scan),
-//!   switching on frontier density.
+//! * [`FlatBackend`] — the flat engine: word-packed
+//!   ([`arbmis_congest::BitMask`]) `active` / `in_mis` / `bad` / `marked`
+//!   flags, incrementally-maintained active degrees, and a two-level
+//!   bitset frontier ([`arbmis_congest::Frontier`]) swept either
+//!   sparsely (summary-skipping iteration) or densely (flat word walk),
+//!   switching on frontier density. Optional extras, both transcript-
+//!   invisible: a cache-aware node ordering
+//!   ([`arbmis_graph::NodeOrder`], see DESIGN.md §13) and a
+//!   deterministic parallel sweep ([`FlatBackend::with_threads`]).
 //!
 //! Both backends draw coin flips from the same counter-pure RNG
 //! ([`arbmis_congest::rng`]), keyed by `(seed, node, iteration, tag)`, so
@@ -45,6 +49,9 @@ pub use congest_backend::CongestBackend;
 pub use divergence::{localize, CoinFlip, Divergence, DivergenceKind, ReplayArtifact};
 pub use flat_backend::FlatBackend;
 pub use region::{solve_mis, RegionMis};
+
+pub use arbmis_congest::BitMask;
+pub use arbmis_graph::{NodeOrder, Permutation};
 
 use arbmis_congest::SimulatorError;
 use arbmis_core::ArbParams;
@@ -91,6 +98,22 @@ pub enum ScanMode {
     Sparse,
     /// Always scan `0..n` and filter on the `active` flag.
     Dense,
+}
+
+impl ScanMode {
+    /// The one shared density decision: whether a sweep over
+    /// `active_count` of `n` nodes should walk the flat word array
+    /// (dense) rather than the summary-skipping frontier (sparse).
+    /// Every per-round derivation in the engine routes through here so
+    /// the flight-record label and the sweeps can never disagree.
+    #[inline]
+    pub fn is_dense(self, active_count: usize, n: usize) -> bool {
+        match self {
+            ScanMode::Sparse => false,
+            ScanMode::Dense => true,
+            ScanMode::Auto => active_count.saturating_mul(DENSE_FRACTION) >= n,
+        }
+    }
 }
 
 /// `Auto` sweeps go dense when `active_count ≥ n / DENSE_FRACTION`.
@@ -175,8 +198,9 @@ pub trait MisBackend {
     /// True once every node has terminated.
     fn is_done(&self) -> bool;
 
-    /// Current MIS membership mask (length `n`).
-    fn mis(&self) -> &[bool];
+    /// Current MIS membership mask (word-packed, length `n`, original
+    /// id space regardless of any execution-layout permutation).
+    fn mis(&self) -> &BitMask;
 
     /// CONGEST rounds executed so far.
     fn round(&self) -> u64;
@@ -282,9 +306,9 @@ mod tests {
             // outputs (bad and residual active sets) against the
             // protocol states.
             for (v, s) in congest.states().iter().enumerate() {
-                assert_eq!(flat.bad()[v], s.bad, "bad set diverges at {v}");
+                assert_eq!(flat.bad().test(v), s.bad, "bad set diverges at {v}");
                 assert_eq!(
-                    flat.active()[v],
+                    flat.is_active(v),
                     s.active,
                     "residual active set diverges at {v}"
                 );
@@ -333,16 +357,52 @@ mod tests {
     }
 
     #[test]
+    fn orders_and_threads_are_transcript_invisible() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let g = gen::gnp(160, 0.04, &mut rng);
+        let delta = g.degree_histogram().len().saturating_sub(1);
+        let params = ArbParams::new(3, delta, ParamMode::default());
+        for algo in [
+            FlatAlgo::Luby,
+            FlatAlgo::Metivier,
+            FlatAlgo::BoundedArb {
+                params,
+                rho_cutoff: true,
+            },
+        ] {
+            let mut base = FlatBackend::new(&g, 9, algo);
+            for order in [NodeOrder::Degree, NodeOrder::Bfs] {
+                let mut permuted = FlatBackend::new(&g, 9, algo).with_order(order);
+                assert_lockstep(
+                    &format!("{}/order={}", algo.label(), order.label()),
+                    &mut base,
+                    &mut permuted,
+                );
+            }
+            for threads in [2, 4] {
+                let mut par = FlatBackend::new(&g, 9, algo)
+                    .with_order(NodeOrder::Degree)
+                    .with_threads(threads);
+                assert_lockstep(
+                    &format!("{}/threads={threads}", algo.label()),
+                    &mut base,
+                    &mut par,
+                );
+            }
+        }
+    }
+
+    #[test]
     fn rerun_is_deterministic() {
         let mut rng = StdRng::seed_from_u64(31);
         let g = gen::gnp(100, 0.06, &mut rng);
         let mut b = FlatBackend::new(&g, 17, FlatAlgo::Metivier);
         let r1 = b.run(MAX_ROUNDS).unwrap();
-        let mis1 = b.mis().to_vec();
+        let mis1 = b.mis().clone();
         let r2 = b.run(MAX_ROUNDS).unwrap();
         assert_eq!(r1, r2);
-        assert_eq!(mis1, b.mis());
-        assert!(arbmis_core::is_valid_mis(&g, b.mis()));
+        assert_eq!(&mis1, b.mis());
+        assert!(arbmis_core::is_valid_mis(&g, &b.mis().to_bools()));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub fn solve_mis(
     let mut b = FlatBackend::new(g, seed, algo);
     let run = b.run(max_rounds)?;
     Ok(RegionMis {
-        in_mis: b.mis().to_vec(),
+        in_mis: b.mis().to_bools(),
         rounds: run.rounds,
     })
 }
@@ -82,7 +82,7 @@ mod tests {
         let r = solve_mis(&g, 5, FlatAlgo::Metivier, 100_000).unwrap();
         let mut b = FlatBackend::new(&g, 5, FlatAlgo::Metivier);
         let run = b.run(100_000).unwrap();
-        assert_eq!(r.in_mis, b.mis());
+        assert_eq!(*b.mis(), r.in_mis);
         assert_eq!(r.rounds, run.rounds);
     }
 

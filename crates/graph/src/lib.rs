@@ -48,6 +48,7 @@ pub mod graph;
 pub mod io;
 pub mod orientation;
 pub mod overlay;
+pub mod perm;
 pub mod powerband;
 pub mod props;
 pub mod stats;
@@ -57,4 +58,5 @@ pub mod traversal;
 pub use builder::GraphBuilder;
 pub use graph::{Graph, NodeId};
 pub use overlay::OverlayGraph;
+pub use perm::{NodeOrder, Permutation};
 pub use subgraph::{ActiveView, InducedSubgraph, ScratchSubgraph, SubgraphScratch};

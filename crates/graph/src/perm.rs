@@ -1,0 +1,321 @@
+//! Cache-aware node orderings: permutations over the CSR layout.
+//!
+//! A [`Permutation`] relabels the nodes of a [`Graph`] so that an engine
+//! can sweep them in a memory-friendly order (hubs first, or
+//! BFS-clustered components) while the *semantics* stay keyed by the
+//! original ids. The contract consumers rely on (DESIGN.md §13): the
+//! permutation is an execution-layout detail — coin draws, tie-breaks,
+//! and reported joiner sets are all in original-id space, so a permuted
+//! run is byte-identical to the unpermuted one.
+//!
+//! All constructors are deterministic pure functions of the graph: no
+//! RNG, no hash-map iteration order, so the same graph always yields the
+//! same layout on every host.
+
+use crate::{Graph, NodeId};
+
+/// A bijection between original node ids and layout positions.
+///
+/// `to_new[old] = pos` and `to_old[pos] = old`; both directions are
+/// materialized because the hot loops need `old(pos)` per scanned node
+/// (coin keying) while edits and probes need `new(old)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    to_new: Vec<NodeId>,
+    to_old: Vec<NodeId>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` nodes.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            to_new: (0..n).collect(),
+            to_old: (0..n).collect(),
+        }
+    }
+
+    /// Builds a permutation from its position → original-id table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to_old` is not a permutation of `0..to_old.len()`.
+    pub fn from_to_old(to_old: Vec<NodeId>) -> Self {
+        let n = to_old.len();
+        let mut to_new = vec![usize::MAX; n];
+        for (pos, &old) in to_old.iter().enumerate() {
+            assert!(old < n, "permutation entry {old} out of range for n={n}");
+            assert!(
+                to_new[old] == usize::MAX,
+                "duplicate permutation entry {old}"
+            );
+            to_new[old] = pos;
+        }
+        Permutation { to_new, to_old }
+    }
+
+    /// Degree-descending order: hubs first (stable — ties break on
+    /// ascending original id). High-degree nodes are probed by the most
+    /// neighbors, so packing them into a compact id prefix keeps their
+    /// flags on the same few cache lines.
+    pub fn by_degree(g: &Graph) -> Self {
+        let mut to_old: Vec<NodeId> = (0..g.n()).collect();
+        to_old.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        Permutation::from_to_old(to_old)
+    }
+
+    /// BFS order: components in ascending order of their lowest original
+    /// id, each traversed breadth-first from that root with neighbors
+    /// visited in ascending original id. Neighbors end up within a
+    /// BFS-level width of each other in the new layout.
+    pub fn by_bfs(g: &Graph) -> Self {
+        let n = g.n();
+        let mut to_old = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for root in 0..n {
+            if seen[root] {
+                continue;
+            }
+            seen[root] = true;
+            queue.push_back(root);
+            while let Some(v) = queue.pop_front() {
+                to_old.push(v);
+                for &u in g.neighbors(v) {
+                    if !seen[u] {
+                        seen[u] = true;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        Permutation::from_to_old(to_old)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.to_old.len()
+    }
+
+    /// Layout position of original node `old`.
+    #[inline]
+    pub fn new_of(&self, old: NodeId) -> NodeId {
+        self.to_new[old]
+    }
+
+    /// Original id at layout position `pos`.
+    #[inline]
+    pub fn old_of(&self, pos: NodeId) -> NodeId {
+        self.to_old[pos]
+    }
+
+    /// The position → original-id table.
+    #[inline]
+    pub fn to_old(&self) -> &[NodeId] {
+        &self.to_old
+    }
+
+    /// The original-id → position table.
+    #[inline]
+    pub fn to_new(&self) -> &[NodeId] {
+        &self.to_new
+    }
+
+    /// Whether this is the identity (layout == original ids).
+    pub fn is_identity(&self) -> bool {
+        self.to_old.iter().enumerate().all(|(pos, &old)| pos == old)
+    }
+}
+
+/// Which [`Permutation`] an engine lays its scan out in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NodeOrder {
+    /// Original ids (no relabeling).
+    #[default]
+    Identity,
+    /// [`Permutation::by_degree`]: hubs first.
+    Degree,
+    /// [`Permutation::by_bfs`]: BFS-clustered components.
+    Bfs,
+}
+
+impl NodeOrder {
+    /// Stable lowercase label for CLIs, artifacts, and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NodeOrder::Identity => "identity",
+            NodeOrder::Degree => "degree",
+            NodeOrder::Bfs => "bfs",
+        }
+    }
+
+    /// Parses a [`label`](NodeOrder::label).
+    ///
+    /// # Errors
+    ///
+    /// The unrecognized input, for the caller's error message.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "identity" => Ok(NodeOrder::Identity),
+            "degree" => Ok(NodeOrder::Degree),
+            "bfs" => Ok(NodeOrder::Bfs),
+            other => Err(format!(
+                "unknown node order {other:?} (expected identity, degree, or bfs)"
+            )),
+        }
+    }
+
+    /// Builds this order's permutation for `g`.
+    pub fn permutation(&self, g: &Graph) -> Permutation {
+        match self {
+            NodeOrder::Identity => Permutation::identity(g.n()),
+            NodeOrder::Degree => Permutation::by_degree(g),
+            NodeOrder::Bfs => Permutation::by_bfs(g),
+        }
+    }
+}
+
+impl Graph {
+    /// The graph relabeled into `perm`'s layout: position `p` of the
+    /// result is original node `perm.old_of(p)`, with neighbor lists
+    /// re-sorted by position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.n() != self.n()`.
+    pub fn relabel(&self, perm: &Permutation) -> Graph {
+        assert_eq!(perm.n(), self.n(), "permutation size mismatch");
+        let n = self.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut adj = Vec::with_capacity(2 * self.m());
+        for pos in 0..n {
+            let old = perm.old_of(pos);
+            let start = adj.len();
+            adj.extend(self.neighbors(old).iter().map(|&u| perm.new_of(u)));
+            adj[start..].sort_unstable();
+            offsets.push(adj.len());
+        }
+        Graph::from_csr_unchecked(offsets, adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        for v in 0..5 {
+            assert_eq!(p.new_of(v), v);
+            assert_eq!(p.old_of(v), v);
+        }
+        assert_eq!(p.n(), 5);
+    }
+
+    #[test]
+    fn inverse_composition_is_identity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::gnp(300, 0.02, &mut rng);
+        for p in [
+            Permutation::identity(g.n()),
+            Permutation::by_degree(&g),
+            Permutation::by_bfs(&g),
+        ] {
+            for v in 0..g.n() {
+                assert_eq!(p.new_of(p.old_of(v)), v);
+                assert_eq!(p.old_of(p.new_of(v)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_order_is_descending_and_stable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = gen::barabasi_albert(200, 3, &mut rng);
+        let p = Permutation::by_degree(&g);
+        let degs: Vec<usize> = p.to_old().iter().map(|&v| g.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "hubs first");
+        for w in p.to_old().windows(2) {
+            if g.degree(w[0]) == g.degree(w[1]) {
+                assert!(w[0] < w[1], "ties must keep ascending original id");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_order_visits_components_in_root_order() {
+        // Two components: a path 0-1-2 and an edge 3-4, plus isolated 5.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let p = Permutation::by_bfs(&g);
+        assert_eq!(p.to_old(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = gen::random_ktree(120, 3, &mut rng);
+        for p in [Permutation::by_degree(&g), Permutation::by_bfs(&g)] {
+            let h = g.relabel(&p);
+            assert_eq!(h.n(), g.n());
+            assert_eq!(h.m(), g.m());
+            for pos in 0..h.n() {
+                let old = p.old_of(pos);
+                assert_eq!(h.degree(pos), g.degree(old), "degree at pos {pos}");
+                let mut back: Vec<NodeId> = h.neighbors(pos).iter().map(|&q| p.old_of(q)).collect();
+                back.sort_unstable();
+                assert_eq!(back, g.neighbors(old), "adjacency at pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_under_identity_is_the_same_graph() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = gen::gnp(80, 0.05, &mut rng);
+        let h = g.relabel(&Permutation::identity(g.n()));
+        assert_eq!(h, g);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_permutation_rejected() {
+        let _ = Permutation::from_to_old(vec![0, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_rejected() {
+        let _ = Permutation::from_to_old(vec![0, 3]);
+    }
+
+    #[test]
+    fn node_order_labels_roundtrip() {
+        for o in [NodeOrder::Identity, NodeOrder::Degree, NodeOrder::Bfs] {
+            assert_eq!(NodeOrder::parse(o.label()).unwrap(), o);
+        }
+        assert!(NodeOrder::parse("zorder").is_err());
+        assert_eq!(NodeOrder::default(), NodeOrder::Identity);
+        let g = gen::path(4);
+        assert!(NodeOrder::Identity.permutation(&g).is_identity());
+        assert!(!NodeOrder::Bfs
+            .permutation(&gen::star(5))
+            .to_old()
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_graph_permutations() {
+        let g = Graph::empty(0);
+        for o in [NodeOrder::Identity, NodeOrder::Degree, NodeOrder::Bfs] {
+            let p = o.permutation(&g);
+            assert_eq!(p.n(), 0);
+            assert!(p.is_identity());
+            assert_eq!(g.relabel(&p).n(), 0);
+        }
+    }
+}

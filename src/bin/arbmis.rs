@@ -15,7 +15,7 @@
 //! ```
 
 use arbmis::core::{arb_mis, check_mis, ghaffari, greedy, luby, metivier, tree_mis, ArbMisConfig};
-use arbmis::flat::{CongestBackend, FlatAlgo, FlatBackend, MisBackend, ReplayArtifact};
+use arbmis::flat::{CongestBackend, FlatAlgo, FlatBackend, MisBackend, NodeOrder, ReplayArtifact};
 use arbmis::graph::gen::{GraphFamily, GraphSpec};
 use arbmis::graph::stats::GraphStats;
 use arbmis::graph::{arboricity, io, Graph};
@@ -28,8 +28,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:
   arbmis run    (--input FILE | --family NAME --n N) --algo ALGO [--alpha A] [--seed S] [--obs]
-                [--backend fast|congest|flat] [--flight] [--flight-out FILE]
-                [--trace-out FILE] [--perfetto-out FILE]
+                [--backend fast|congest|flat] [--order identity|degree|bfs] [--flat-threads N]
+                [--flight] [--flight-out FILE] [--trace-out FILE] [--perfetto-out FILE]
   arbmis stats  (--input FILE | --family NAME --n N) [--seed S]
   arbmis gen    --family NAME --n N --output FILE [--seed S]
   arbmis replay --input ARTIFACT.json
@@ -56,6 +56,11 @@ fast path (default), the CONGEST message-passing simulator, or the flat
 shared-memory backend. All three produce the same MIS; the engines
 report one extra round (the final all-halt round the fast path's
 counting convention omits; DESIGN.md §11).
+
+--order relabels the flat backend's internal node layout (cache
+locality); --flat-threads N runs its sweeps on N worker threads. Both
+are execution details: the transcript — joiners, rounds, the MIS — is
+byte-identical for every order and thread count (DESIGN.md §13).
 
 replay re-runs a divergence artifact (see DESIGN.md §8) and reports the
 first divergent round; obs report renders a saved trace; obs serve
@@ -426,6 +431,32 @@ fn main() -> ExitCode {
                 eprintln!("--backend {backend} only supports --algo luby or metivier");
                 return ExitCode::FAILURE;
             }
+            let order = match flags.get("order") {
+                None => NodeOrder::Identity,
+                Some(s) => match NodeOrder::parse(s) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let flat_threads: usize = match flags.get("flat-threads") {
+                None => 1,
+                Some(s) => match s.parse() {
+                    Ok(t) if t >= 1 => t,
+                    _ => {
+                        eprintln!("--flat-threads must be an integer >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            if (flags.contains_key("order") || flags.contains_key("flat-threads"))
+                && backend != "flat"
+            {
+                eprintln!("--order / --flat-threads need --backend flat");
+                return ExitCode::FAILURE;
+            }
             let (in_mis, rounds) = match algo {
                 "greedy" => (greedy::greedy_mis(&g), 0),
                 "luby" | "metivier" if backend != "fast" => {
@@ -441,11 +472,13 @@ fn main() -> ExitCode {
                     let rec = arbmis::obs::global();
                     let span = rec.span(&format!("backend/{algo}"));
                     let result = if backend == "flat" {
-                        let mut b = FlatBackend::new(&g, seed, flat_algo);
-                        b.run(max_rounds).map(|r| (b.mis().to_vec(), r.rounds))
+                        let mut b = FlatBackend::new(&g, seed, flat_algo)
+                            .with_order(order)
+                            .with_threads(flat_threads);
+                        b.run(max_rounds).map(|r| (b.mis().to_bools(), r.rounds))
                     } else {
                         let mut b = CongestBackend::new(&g, seed, flat_algo);
-                        b.run(max_rounds).map(|r| (b.mis().to_vec(), r.rounds))
+                        b.run(max_rounds).map(|r| (b.mis().to_bools(), r.rounds))
                     };
                     match result {
                         Ok((mis, rounds)) => {

@@ -10,17 +10,52 @@
 //! through budget-checked planes, the other sweeps flat arrays — so any
 //! drift in protocol semantics, RNG derivation, or round accounting
 //! shows up here as a first-divergence round index.
+//!
+//! The flat engine side of the matrix is itself a cross product:
+//! `{sparse, dense, auto}` scans × `{identity, degree, bfs}` execution
+//! layouts × flat worker threads `{1, 2, 4}` — the layout-independence
+//! and deterministic-parallelism contracts (DESIGN.md §13) ride on the
+//! same lockstep assertions. `ARBMIS_EQ_ORDERS` and
+//! `ARBMIS_EQ_FLAT_THREADS` (comma-separated) narrow the flat matrix,
+//! so CI can pin one slice per job.
 
 use arbmis::congest::{Parallelism, Protocol, Simulator};
 use arbmis::core::protocols::{BoundedArbProtocol, LubyProtocol, MetivierProtocol, MisNodeState};
 use arbmis::core::{ArbParams, ParamMode};
-use arbmis::flat::{CongestBackend, FlatAlgo, FlatBackend, MisBackend, ScanMode};
+use arbmis::flat::{CongestBackend, FlatAlgo, FlatBackend, MisBackend, NodeOrder, ScanMode};
 use arbmis::graph::{gen, Graph};
 use rand::SeedableRng;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 const SEEDS: [u64; 4] = [0, 1, 7, 42];
 const MAX_ROUNDS: u64 = 100_000;
+
+/// Flat execution layouts under test (`ARBMIS_EQ_ORDERS` narrows).
+fn orders_under_test() -> Vec<NodeOrder> {
+    match std::env::var("ARBMIS_EQ_ORDERS") {
+        Ok(s) => s
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| NodeOrder::parse(t).expect("ARBMIS_EQ_ORDERS"))
+            .collect(),
+        Err(_) => vec![NodeOrder::Identity, NodeOrder::Degree, NodeOrder::Bfs],
+    }
+}
+
+/// Flat worker-thread counts under test (`ARBMIS_EQ_FLAT_THREADS`
+/// narrows).
+fn flat_threads_under_test() -> Vec<usize> {
+    match std::env::var("ARBMIS_EQ_FLAT_THREADS") {
+        Ok(s) => s
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse().expect("ARBMIS_EQ_FLAT_THREADS"))
+            .collect(),
+        Err(_) => vec![1, 2, 4],
+    }
+}
 
 /// The four workload families of the contract: dense-ish random, bounded
 /// arboricity, spatial, and preferential attachment.
@@ -69,7 +104,7 @@ fn assert_lockstep(label: &str, backends: &mut [&mut dyn MisBackend]) -> (u64, V
         }
     }
     let rounds = backends[0].round();
-    let mis = backends[0].mis().to_vec();
+    let mis = backends[0].mis().to_bools();
     for (i, b) in backends.iter().enumerate().skip(1) {
         assert_eq!(b.round(), rounds, "{label}: backend #{i} round count");
         assert_eq!(b.mis(), &mis[..], "{label}: backend #{i} final MIS");
@@ -99,25 +134,30 @@ where
     )
 }
 
-/// Full matrix for one `(graph, seed, algo)` workload: both flat scan
-/// directions vs both simulator scheduling modes in lockstep, then the
-/// parallel engine at every thread count against the agreed outcome.
+/// Full matrix for one `(graph, seed, algo)` workload: every flat
+/// configuration (scan × layout × flat threads) vs both simulator
+/// scheduling modes in lockstep, then the parallel engine at every
+/// thread count against the agreed outcome.
 fn assert_workload(label: &str, g: &Graph, seed: u64, algo: FlatAlgo, max_rounds: u64) {
-    let mut flat_sparse = FlatBackend::new(g, seed, algo).with_scan(ScanMode::Sparse);
-    let mut flat_dense = FlatBackend::new(g, seed, algo).with_scan(ScanMode::Dense);
-    let mut flat_auto = FlatBackend::new(g, seed, algo);
+    let mut flats = Vec::new();
+    for scan in [ScanMode::Sparse, ScanMode::Dense, ScanMode::Auto] {
+        for &order in &orders_under_test() {
+            for &threads in &flat_threads_under_test() {
+                flats.push(
+                    FlatBackend::new(g, seed, algo)
+                        .with_scan(scan)
+                        .with_order(order)
+                        .with_threads(threads),
+                );
+            }
+        }
+    }
     let mut congest = CongestBackend::new(g, seed, algo);
     let mut congest_full = CongestBackend::new(g, seed, algo).with_full_scan(true);
-    let (rounds, mis) = assert_lockstep(
-        label,
-        &mut [
-            &mut congest,
-            &mut flat_sparse,
-            &mut flat_dense,
-            &mut flat_auto,
-            &mut congest_full,
-        ],
-    );
+    let mut backends: Vec<&mut dyn MisBackend> = vec![&mut congest];
+    backends.extend(flats.iter_mut().map(|f| f as &mut dyn MisBackend));
+    backends.push(&mut congest_full);
+    let (rounds, mis) = assert_lockstep(label, &mut backends);
     if !matches!(algo, FlatAlgo::BoundedArb { .. }) {
         assert!(
             arbmis::core::is_valid_mis(g, &mis),
@@ -203,8 +243,8 @@ fn bounded_arb_backends_equivalent() {
             flat.run(max_rounds).unwrap();
             congest.run(max_rounds).unwrap();
             for (v, s) in congest.states().iter().enumerate() {
-                assert_eq!(flat.bad()[v], s.bad, "{label}: bad[{v}]");
-                assert_eq!(flat.active()[v], s.active, "{label}: active[{v}]");
+                assert_eq!(flat.bad().test(v), s.bad, "{label}: bad[{v}]");
+                assert_eq!(flat.is_active(v), s.active, "{label}: active[{v}]");
             }
         }
     }

@@ -165,11 +165,11 @@ proptest! {
             for scan in [ScanMode::Auto, ScanMode::Sparse, ScanMode::Dense] {
                 let mut b = FlatBackend::new(&g, seed, algo).with_scan(scan);
                 b.run(100_000).unwrap();
-                prop_assert!(is_valid_mis(&g, b.mis()), "flat {algo:?} {scan:?}");
+                prop_assert!(is_valid_mis(&g, &b.mis().to_bools()), "flat {algo:?} {scan:?}");
             }
             let mut b = CongestBackend::new(&g, seed, algo);
             b.run(100_000).unwrap();
-            prop_assert!(is_valid_mis(&g, b.mis()), "congest {algo:?}");
+            prop_assert!(is_valid_mis(&g, &b.mis().to_bools()), "congest {algo:?}");
         }
     }
 
@@ -204,6 +204,112 @@ proptest! {
             }
             prop_assert_eq!(flat.round(), congest.round());
             prop_assert_eq!(flat.mis(), congest.mis());
+        }
+    }
+}
+
+// ------------------------------------------------- bit-packed substrate
+
+/// Strategy: a size plus an operation tape over `0..n` for the
+/// [`BitMask`]-vs-`Vec<bool>` model check.
+fn arb_mask_ops() -> impl Strategy<Value = (usize, Vec<(u8, usize)>)> {
+    (1usize..=300).prop_flat_map(|n| (Just(n), proptest::collection::vec((0u8..2, 0..n), 0..4 * n)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The word-packed [`BitMask`] is observationally equivalent to a
+    /// `Vec<bool>` model: after any tape of set/clear operations, the
+    /// per-bit tests, the population count, the word-level iterator,
+    /// and any word-range slice of it all agree with the model.
+    #[test]
+    fn bitmask_matches_bool_vec_model(case in arb_mask_ops(), range_seed in 0usize..97) {
+        use arbmis::congest::BitMask;
+        let (n, ops) = case;
+        let mut mask = BitMask::new(n);
+        let mut model = vec![false; n];
+        for (op, v) in ops {
+            if op == 0 {
+                mask.set(v);
+                model[v] = true;
+            } else {
+                mask.clear(v);
+                model[v] = false;
+            }
+        }
+        prop_assert!(mask == model[..], "bitwise equality");
+        for (v, &b) in model.iter().enumerate() {
+            prop_assert_eq!(mask.test(v), b);
+        }
+        prop_assert_eq!(mask.count_ones(), model.iter().filter(|&&b| b).count());
+        let expect: Vec<usize> = (0..n).filter(|&v| model[v]).collect();
+        prop_assert_eq!(mask.iter().collect::<Vec<_>>(), expect.clone());
+        // An arbitrary word-range slice of the iterator agrees too.
+        let nwords = n.div_ceil(64);
+        let wlo = range_seed % (nwords + 1);
+        let whi = nwords.min(wlo + 1 + range_seed % 3);
+        let in_range: Vec<usize> = expect
+            .iter()
+            .copied()
+            .filter(|&v| v / 64 >= wlo && v / 64 < whi)
+            .collect();
+        prop_assert_eq!(mask.iter_words(wlo, whi).collect::<Vec<_>>(), in_range);
+        // Round-tripping through bools is the identity.
+        prop_assert_eq!(BitMask::from_bools(&mask.to_bools()), mask);
+    }
+
+    /// Permutations invert exactly: `new∘old = old∘new = id`, for every
+    /// ordering strategy on an arbitrary graph.
+    #[test]
+    fn permutation_roundtrip(g in arbitrary_graph()) {
+        use arbmis::graph::NodeOrder;
+        for order in [NodeOrder::Identity, NodeOrder::Degree, NodeOrder::Bfs] {
+            let p = order.permutation(&g);
+            prop_assert_eq!(p.n(), g.n());
+            for v in 0..g.n() {
+                prop_assert_eq!(p.new_of(p.old_of(v)), v);
+                prop_assert_eq!(p.old_of(p.new_of(v)), v);
+            }
+        }
+    }
+
+    /// DESIGN.md §13: a permuted flat run's joiner sets (already mapped
+    /// back to original ids by the engine) equal the unpermuted run's at
+    /// every round, for every layout.
+    #[test]
+    fn permuted_runs_report_identical_joiners(g in arbitrary_graph(), seed in 0u64..500) {
+        use arbmis::flat::{FlatAlgo, FlatBackend, MisBackend};
+        use arbmis::graph::NodeOrder;
+        for algo in [FlatAlgo::Luby, FlatAlgo::Metivier] {
+            let mut base = FlatBackend::new(&g, seed, algo);
+            let mut permuted: Vec<FlatBackend> = [NodeOrder::Degree, NodeOrder::Bfs]
+                .iter()
+                .map(|&o| FlatBackend::new(&g, seed, algo).with_order(o))
+                .collect();
+            base.init();
+            for p in &mut permuted {
+                p.init();
+            }
+            while !base.is_done() {
+                prop_assert!(base.round() < 100_000);
+                base.step_round().unwrap();
+                for p in &mut permuted {
+                    p.step_round().unwrap();
+                    prop_assert!(
+                        p.joiners() == base.joiners(),
+                        "{} order {} joiners diverge at round {}",
+                        algo.label(),
+                        p.order().label(),
+                        base.round() - 1
+                    );
+                }
+            }
+            for p in &permuted {
+                prop_assert!(p.is_done());
+                prop_assert_eq!(p.mis(), base.mis());
+                prop_assert_eq!(p.round(), base.round());
+            }
         }
     }
 }
